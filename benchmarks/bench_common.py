@@ -1,0 +1,88 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every bench runs the scaled Table II machine (see
+``repro.sim.config.scaled_machine`` and DESIGN.md's scaling note) with
+8 worker threads on 9 cores, mirroring the paper's default setup.
+Problem sizes are the scaled defaults recorded in EXPERIMENTS.md.
+
+Each bench prints a paper-vs-measured table and appends it to
+``benchmarks/results/<bench>.txt`` so the numbers survive the pytest
+run for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.sim.config import MachineConfig, scaled_machine
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Paper-default thread setup: 8 workers + 1 master core.
+NUM_THREADS = 8
+NUM_CORES = 9
+
+#: Scaled problem sizes (paper sizes are 1k-4k square / 100k points;
+#: see DESIGN.md section 1 for the scaling rationale).  ``tmm`` uses the
+#: paper's simulation methodology of a 2-outer-iteration window.
+#: Every size is chosen so the kernel's write set overflows the scaled
+#: L2 (48KB) the way the paper's 1k-4k-square inputs overflow 512KB —
+#: the base runs must have natural evictions for write-amplification
+#: ratios to mean what the paper's do.
+WORKLOAD_SPECS: Dict[str, dict] = {
+    "tmm": dict(n=96, bsize=8, kk_tiles=2),
+    "cholesky": dict(n=104, col_block=8),
+    "conv2d": dict(n=66, ksize=3, row_block=8),
+    "gauss": dict(n=96, row_block=8, pivots=8),
+    "fft": dict(n=2048),
+}
+
+#: Memoized (workload, variant) -> ExperimentResult runs shared between
+#: benches (Figures 12 and 13 report two metrics of the same runs, as
+#: the paper's figures do).
+_RESULT_CACHE: Dict[tuple, object] = {}
+
+
+def cached_run(name: str, variant: str):
+    """Run (or reuse) one workload/variant at the shared bench config."""
+    from repro.analysis.experiments import run_variant
+
+    key = (name, variant)
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = run_variant(
+            make_workload(name),
+            machine_config(),
+            variant,
+            num_threads=NUM_THREADS,
+            drain=True,
+        )
+    return _RESULT_CACHE[key]
+
+
+def make_workload(name: str) -> Workload:
+    return get_workload(name)(**WORKLOAD_SPECS[name])
+
+
+def machine_config(num_cores: int = NUM_CORES) -> MachineConfig:
+    return scaled_machine(num_cores=num_cores)
+
+
+def record(bench_name: str, text: str, data=None) -> None:
+    """Print a results table and persist it under benchmarks/results/.
+
+    ``data`` (any JSON-serialisable object) is additionally written to
+    ``<bench>.json`` for machine consumption.
+    """
+    import json
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{bench_name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    if data is not None:
+        with open(os.path.join(RESULTS_DIR, f"{bench_name}.json"), "w") as fh:
+            json.dump(data, fh, indent=2, default=str)
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,61 @@
+"""Figure 10: execution time and number of NVMM writes for the four
+TMM schemes (base, +LP, +EP/EagerRecompute, +WAL), normalized to base.
+
+Paper values: LP 1.002 / 1.003, EP 1.12 / 1.36, WAL 5.97 / 3.83.
+"""
+
+from repro.analysis.experiments import compare_variants
+from repro.analysis.reporting import format_table
+
+from bench_common import NUM_THREADS, machine_config, make_workload, record
+
+PAPER = {
+    "base": (1.00, 1.00),
+    "lp": (1.002, 1.003),
+    "ep": (1.12, 1.36),
+    "wal": (5.97, 3.83),
+}
+
+
+def run_fig10():
+    results = compare_variants(
+        make_workload("tmm"),
+        machine_config(),
+        ["base", "lp", "ep", "wal"],
+        num_threads=NUM_THREADS,
+    )
+    base = results["base"]
+    rows = []
+    for scheme in ("base", "lp", "ep", "wal"):
+        norm = results[scheme].normalized_to(base)
+        p_exec, p_writes = PAPER[scheme]
+        rows.append(
+            [
+                f"tmm+{scheme.upper()}" if scheme != "base" else "base (tmm)",
+                p_exec,
+                round(norm["exec_time"], 3),
+                p_writes,
+                round(norm["num_writes"], 3),
+            ]
+        )
+    return rows, results
+
+
+def test_fig10_schemes(benchmark):
+    rows, results = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    record(
+        "fig10_schemes",
+        format_table(
+            ["scheme", "paper exec", "exec", "paper writes", "writes"],
+            rows,
+            title="Figure 10: TMM scheme comparison (normalized to base)",
+        ),
+    )
+    lookup = {r[0]: r for r in rows}
+    # shape assertions: who wins, by roughly what factor
+    assert lookup["tmm+LP"][2] < 1.05, "LP exec overhead must be ~zero"
+    assert lookup["tmm+LP"][4] < 1.05, "LP write overhead must be ~zero"
+    assert 1.0 < lookup["tmm+EP"][2] < 1.5, "EP exec overhead is noticeable"
+    assert lookup["tmm+EP"][4] > lookup["tmm+LP"][4], "EP writes > LP writes"
+    assert lookup["tmm+WAL"][2] > 2.0, "WAL is by far the slowest"
+    assert lookup["tmm+WAL"][4] > 2.0, "WAL writes the most"

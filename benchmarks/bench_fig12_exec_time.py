@@ -1,0 +1,54 @@
+"""Figure 12: normalized execution time of LP and EagerRecompute for
+all five benchmarks.
+
+Paper: LP overheads range 0.1%-3.5% (avg 1.1%); EagerRecompute ranges
+4.4%-17.9% (avg 9%).
+"""
+
+from repro.analysis.reporting import format_table, geomean
+
+from bench_common import cached_run, record
+
+WORKLOADS = ["tmm", "cholesky", "conv2d", "gauss", "fft"]
+
+PAPER_RANGE = {"lp": (0.001, 0.035, 0.011), "ep": (0.044, 0.179, 0.09)}
+
+
+def run_fig12():
+    return {
+        name: {v: cached_run(name, v) for v in ("base", "lp", "ep")}
+        for name in WORKLOADS
+    }
+
+
+def test_fig12_exec_time(benchmark):
+    results = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    rows = []
+    lp_ratios, ep_ratios = [], []
+    for name in WORKLOADS:
+        base = results[name]["base"]
+        lp = results[name]["lp"].normalized_to(base)["exec_time"]
+        ep = results[name]["ep"].normalized_to(base)["exec_time"]
+        lp_ratios.append(lp)
+        ep_ratios.append(ep)
+        rows.append([name, round(lp, 3), round(ep, 3)])
+    rows.append(
+        ["gmean", round(geomean(lp_ratios), 3), round(geomean(ep_ratios), 3)]
+    )
+    record(
+        "fig12_exec_time",
+        format_table(
+            ["benchmark", "LP exec", "EP exec"],
+            rows,
+            title=(
+                "Figure 12: normalized execution time "
+                "(paper: LP avg 1.011, EP avg 1.09)"
+            ),
+        ),
+    )
+    # shape: LP beats EP on every benchmark; LP average stays small
+    for name, lp, ep in zip(WORKLOADS, lp_ratios, ep_ratios):
+        assert lp < ep, f"{name}: LP must be cheaper than EP"
+        assert lp < 1.12, f"{name}: LP overhead must stay small"
+    assert geomean(lp_ratios) < 1.06
+    assert geomean(ep_ratios) > geomean(lp_ratios)

@@ -1,0 +1,60 @@
+"""Figure 13: normalized write amplification of LP and EagerRecompute
+for all five benchmarks.
+
+Paper: LP ranges 0.1%-4.4% (avg 3%); EagerRecompute ranges 0.2%-55%
+(avg 20.6%), with the gap workload-dependent (store coalescing and
+memory-footprint effects, section VI-B).
+"""
+
+from repro.analysis.reporting import format_table, geomean
+
+from bench_common import cached_run, record
+
+WORKLOADS = ["tmm", "cholesky", "conv2d", "gauss", "fft"]
+
+
+def run_fig13():
+    return {
+        name: {v: cached_run(name, v) for v in ("base", "lp", "ep")}
+        for name in WORKLOADS
+    }
+
+
+def test_fig13_write_amp(benchmark):
+    results = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    rows = []
+    lp_ratios, ep_ratios = [], []
+    for name in WORKLOADS:
+        base = results[name]["base"]
+        lp_w = results[name]["lp"].total_writes
+        ep_w = results[name]["ep"].total_writes
+        lp = lp_w / base.total_writes if base.total_writes else float("nan")
+        ep = ep_w / base.total_writes if base.total_writes else float("nan")
+        lp_ratios.append(lp)
+        ep_ratios.append(ep)
+        rows.append(
+            [name, base.total_writes, round(lp, 3), round(ep, 3)]
+        )
+    rows.append(
+        [
+            "gmean",
+            "-",
+            round(geomean(lp_ratios), 3),
+            round(geomean(ep_ratios), 3),
+        ]
+    )
+    record(
+        "fig13_write_amp",
+        format_table(
+            ["benchmark", "base writes", "LP writes", "EP writes"],
+            rows,
+            title=(
+                "Figure 13: normalized write amplification "
+                "(paper: LP avg 1.03, EP avg 1.206)"
+            ),
+        ),
+    )
+    for name, lp, ep in zip(WORKLOADS, lp_ratios, ep_ratios):
+        assert lp <= ep + 0.01, f"{name}: LP writes must not exceed EP's"
+    assert geomean(lp_ratios) < geomean(ep_ratios)
+    assert geomean(lp_ratios) < 1.25

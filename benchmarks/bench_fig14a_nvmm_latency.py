@@ -1,0 +1,57 @@
+"""Figure 14(a): sensitivity of LP and EagerRecompute execution-time
+overheads to NVMM latency, at (read, write) = (60,150), (
+intermediate), and (150,300) ns — i.e. (120,300), (210,450), (300,600)
+cycles at 2GHz.
+
+Paper shape: EP's overhead *grows* with latency (flushes, misses and
+durable barriers all get costlier); LP's *shrinks* (the fixed checksum
+work is diluted by slower memory).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import sweep_nvmm_latency
+
+from bench_common import NUM_THREADS, machine_config, make_workload, record
+
+LATENCIES = [(120.0, 300.0), (210.0, 450.0), (300.0, 600.0)]
+
+
+def run_fig14a():
+    return sweep_nvmm_latency(
+        make_workload("tmm"),
+        machine_config(),
+        LATENCIES,
+        variants=("base", "lp", "ep"),
+        num_threads=NUM_THREADS,
+    )
+
+
+def test_fig14a_nvmm_latency(benchmark):
+    results = benchmark.pedantic(run_fig14a, rounds=1, iterations=1)
+    rows = []
+    lp_over, ep_over = [], []
+    for lat in LATENCIES:
+        base = results[lat]["base"]
+        lp = results[lat]["lp"].exec_cycles / base.exec_cycles
+        ep = results[lat]["ep"].exec_cycles / base.exec_cycles
+        lp_over.append(lp)
+        ep_over.append(ep)
+        ns = (lat[0] / 2, lat[1] / 2)
+        rows.append(
+            [f"({ns[0]:.0f}ns, {ns[1]:.0f}ns)", round(lp, 3), round(ep, 3)]
+        )
+    record(
+        "fig14a_nvmm_latency",
+        format_table(
+            ["(read, write)", "LP exec", "EP exec"],
+            rows,
+            title="Figure 14a: NVMM latency sensitivity (normalized exec time)",
+        ),
+    )
+    # shape: EP overhead grows with latency; LP stays ~flat and is far
+    # below EP wherever EP's overhead is visible at all (at the lowest
+    # latency both sit inside the ~1% timing-texture noise floor)
+    assert ep_over[0] < ep_over[1] < ep_over[2]
+    assert all(lp < ep + 0.01 for lp, ep in zip(lp_over, ep_over))
+    assert lp_over[-1] < ep_over[-1] - 0.03
+    assert all(lp < 1.05 for lp in lp_over)

@@ -1,0 +1,49 @@
+"""Figure 14(b): execution time of base and LP as threads scale 1-16,
+normalized to base with 1 thread.
+
+Paper shape: LP tracks base at every thread count (same scalability).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import sweep_threads
+from repro.workloads.tmm import TiledMatMul
+
+from bench_common import machine_config, record
+
+THREADS = [1, 2, 4, 8, 16]
+
+
+def run_fig14b():
+    # 16 tiles so 16 threads have balanced work, and a proportionally
+    # larger L2 so per-thread capacity stays in the paper's regime
+    # (their 512KB is shared the same way at every thread count)
+    cfg = machine_config(num_cores=17).with_l2_size(96 * 1024)
+    return sweep_threads(
+        TiledMatMul(n=128, bsize=8, kk_tiles=1),
+        cfg,
+        THREADS,
+        variants=("base", "lp"),
+    )
+
+
+def test_fig14b_threads(benchmark):
+    results = benchmark.pedantic(run_fig14b, rounds=1, iterations=1)
+    base1 = results[1]["base"].exec_cycles
+    rows = []
+    for p in THREADS:
+        b = results[p]["base"].exec_cycles / base1
+        l = results[p]["lp"].exec_cycles / base1
+        rows.append([p, round(b, 3), round(l, 3), round(l / b, 3)])
+    record(
+        "fig14b_threads",
+        format_table(
+            ["threads", "base", "LP", "LP/base"],
+            rows,
+            title="Figure 14b: thread scaling (normalized to base @ 1 thread)",
+        ),
+    )
+    # shape: both scale; LP tracks base within a few percent everywhere
+    for p in THREADS:
+        ratio = results[p]["lp"].exec_cycles / results[p]["base"].exec_cycles
+        assert ratio < 1.08, f"LP diverges from base at {p} threads"
+    assert results[8]["base"].exec_cycles < results[1]["base"].exec_cycles / 3

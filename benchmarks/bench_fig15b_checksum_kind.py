@@ -1,0 +1,52 @@
+"""Figure 15(b): LP execution-time overhead per error-detection code.
+
+Paper: parity 0.1%, modular 0.2%, Adler-32 ~1%, parallel
+(modular+parity) 3.4% — all far below Eager Persistency's 12%.
+"""
+
+from repro.analysis.experiments import run_variant
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import sweep_checksum
+
+from bench_common import NUM_THREADS, machine_config, make_workload, record
+
+ENGINES = ["parity", "modular", "adler32", "parallel"]
+PAPER = {"parity": 0.1, "modular": 0.2, "adler32": 1.0, "parallel": 3.4}
+
+
+def run_fig15b():
+    cfg = machine_config()
+    base = run_variant(
+        make_workload("tmm"), cfg, "base", num_threads=NUM_THREADS
+    )
+    ep = run_variant(make_workload("tmm"), cfg, "ep", num_threads=NUM_THREADS)
+    swept = sweep_checksum(
+        make_workload("tmm"), cfg, ENGINES, num_threads=NUM_THREADS
+    )
+    return base, ep, swept
+
+
+def test_fig15b_checksum_kind(benchmark):
+    base, ep, swept = benchmark.pedantic(run_fig15b, rounds=1, iterations=1)
+    rows = []
+    overheads = {}
+    for engine in ENGINES:
+        overhead = (swept[engine].exec_cycles / base.exec_cycles - 1) * 100
+        overheads[engine] = overhead
+        rows.append([engine, PAPER[engine], round(overhead, 2)])
+    ep_overhead = (ep.exec_cycles / base.exec_cycles - 1) * 100
+    rows.append(["(EagerRecompute)", 12.0, round(ep_overhead, 2)])
+    record(
+        "fig15b_checksum_kind",
+        format_table(
+            ["checksum", "paper overhead %", "measured overhead %"],
+            rows,
+            title="Figure 15b: LP overhead per error-detection code",
+        ),
+    )
+    # shape (paper Fig 15b): parity cheapest, modular close behind,
+    # the parallel combination costliest, everything below EP
+    assert overheads["parity"] <= overheads["modular"] + 0.3
+    assert overheads["modular"] < overheads["parallel"]
+    assert overheads["adler32"] < overheads["parallel"] + 0.3
+    assert all(o < ep_overhead for o in overheads.values())

@@ -1,0 +1,51 @@
+"""Maximum volatility duration (section VI, text): how long a dirty
+block stays volatile before reaching NVMM.
+
+Paper: EagerRecompute's maxvdur is 20% of base's (eager flushing
+shortens residency); Lazy Persistency's is 101% of base (it relies on
+natural evictions, just like base).
+"""
+
+from repro.analysis.experiments import compare_variants
+from repro.analysis.reporting import format_table
+
+from bench_common import NUM_THREADS, machine_config, make_workload, record
+
+PAPER = {"ep": 0.20, "lp": 1.01}
+
+
+def run_maxvdur():
+    return compare_variants(
+        make_workload("tmm"),
+        machine_config(),
+        ["base", "ep", "lp"],
+        num_threads=NUM_THREADS,
+    )
+
+
+def test_maxvdur(benchmark):
+    results = benchmark.pedantic(run_maxvdur, rounds=1, iterations=1)
+    base = results["base"].max_volatility_cycles
+    rows = []
+    for scheme in ("base", "ep", "lp"):
+        ratio = results[scheme].max_volatility_cycles / base
+        rows.append(
+            [
+                scheme,
+                round(results[scheme].max_volatility_cycles, 0),
+                PAPER.get(scheme, 1.00),
+                round(ratio, 3),
+            ]
+        )
+    record(
+        "maxvdur",
+        format_table(
+            ["scheme", "maxvdur (cycles)", "paper ratio", "measured ratio"],
+            rows,
+            title="Max volatility duration vs base (section VI)",
+        ),
+    )
+    ep_ratio = results["ep"].max_volatility_cycles / base
+    lp_ratio = results["lp"].max_volatility_cycles / base
+    assert ep_ratio < 0.8, "eager flushing must shorten volatility"
+    assert 0.8 < lp_ratio < 1.3, "LP's volatility tracks base's"

@@ -1,0 +1,69 @@
+"""Ablation (section III-E.1 motivation): recovery cost vs the
+periodic-cleaner interval.
+
+The paper argues the cleaner bounds recovery time: the longer data may
+stay volatile, the more regions a crash can invalidate.  This bench
+crashes an LP TMM run at a fixed point under different cleaner
+periods, runs recovery, verifies exactness, and reports the recovery
+work — the quantitative other half of Figure 11's write-overhead
+trade-off.
+"""
+
+from repro.analysis.crashlab import run_crash_campaign
+from repro.analysis.reporting import format_table
+from repro.sim.config import scaled_machine
+from repro.workloads.tmm import TiledMatMul
+
+from bench_common import record
+
+PERIODS = [2_000.0, 20_000.0, None]
+CRASH_POINT = 120_000  # ops; mid-run for the n=64 full TMM below
+
+
+def run_recovery_ablation():
+    out = {}
+    for period in PERIODS:
+        out[period] = run_crash_campaign(
+            TiledMatMul(n=64, bsize=8),
+            scaled_machine(num_cores=5),
+            crash_points=[CRASH_POINT],
+            num_threads=4,
+            cleaner_period=period,
+        )
+    return out
+
+
+def test_recovery_time_vs_cleaner(benchmark):
+    results = benchmark.pedantic(run_recovery_ablation, rounds=1, iterations=1)
+    rows = []
+    for period in PERIODS:
+        trial = results[period].trials[0]
+        rows.append(
+            [
+                "none" if period is None else f"{period:.0f} cyc",
+                trial.writes_before_crash,
+                trial.recovery_ops,
+                round(trial.recovery_cycles, 0),
+                results[period].all_recovered,
+            ]
+        )
+    record(
+        "recovery_time",
+        format_table(
+            [
+                "cleaner period",
+                "writes pre-crash",
+                "recovery ops",
+                "recovery cycles",
+                "recovered",
+            ],
+            rows,
+            title="Ablation: cleaner period vs recovery cost (LP TMM)",
+        ),
+    )
+    assert all(r.all_recovered for r in results.values())
+    # a frequent cleaner must not recover slower than no cleaner
+    assert (
+        results[PERIODS[0]].trials[0].recovery_ops
+        <= results[None].trials[0].recovery_ops
+    )

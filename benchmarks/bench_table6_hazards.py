@@ -1,0 +1,57 @@
+"""Table VI: structural-hazard events and L2 miss rate for TMM under
+base, EP (EagerRecompute) and LP.
+
+Paper values (normalized to base): EP MSHR 1.84x, FUI 21.57x, FUR
+22.4x; raw FUW 31,109; L2MR base 0.01 -> EP 0.05, LP 0.02.  Our
+in-order hazard proxies have different baselines (DESIGN.md section 4),
+so the reproduction target is the *ordering*: EP >> LP ~= base on every
+counter, and EP's L2 miss rate above base's.
+"""
+
+from repro.analysis.experiments import compare_variants
+from repro.analysis.reporting import format_table
+
+from bench_common import NUM_THREADS, machine_config, make_workload, record
+
+
+def run_table6():
+    return compare_variants(
+        make_workload("tmm"),
+        machine_config(),
+        ["base", "ep", "lp"],
+        num_threads=NUM_THREADS,
+    )
+
+
+def test_table6_hazards(benchmark):
+    results = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    rows = []
+    for scheme in ("base", "ep", "lp"):
+        r = results[scheme]
+        hz = r.hazards
+        rows.append(
+            [
+                f"tmm+{scheme.upper()}" if scheme != "base" else "base (tmm)",
+                hz["mshr"],
+                hz["fui"],
+                hz["fur"],
+                hz["fuw"],
+                round(r.l2_miss_rate, 3),
+            ]
+        )
+    record(
+        "table6_hazards",
+        format_table(
+            ["scheme", "MSHR", "FUI", "FUR", "FUW", "L2MR"],
+            rows,
+            title="Table VI: pipeline hazards and L2 miss rate",
+        ),
+    )
+
+    base, ep, lp = (results[s] for s in ("base", "ep", "lp"))
+    # ordering assertions (the paper's qualitative claim)
+    assert ep.hazards["fui"] > 10 * max(base.hazards["fui"], 1)
+    assert ep.hazards["fur"] > 2 * max(base.hazards["fur"], 1)
+    assert lp.hazards["fui"] < ep.hazards["fui"] / 10
+    assert ep.l2_miss_rate > base.l2_miss_rate
+    assert abs(lp.l2_miss_rate - base.l2_miss_rate) < 0.05

@@ -1,0 +1,91 @@
+"""Crash/recovery campaigns: inject failures across a run, recover,
+and verify — the experimental backbone for LP's failure-safety claim.
+
+The paper evaluates performance (failures are rare); this module is the
+reproduction's way of *demonstrating* the correctness half: for a grid
+of crash points, Lazy Persistency recovery must reconstruct the exact
+failure-free output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.cleaner import PeriodicCleaner
+from repro.sim.config import MachineConfig
+from repro.sim.crash import CrashPlan, run_with_crash
+from repro.sim.machine import Machine
+from repro.workloads.base import Workload
+
+
+@dataclass
+class CrashTrial:
+    crash_at_op: int
+    crashed: bool
+    recovered_ok: bool
+    writes_before_crash: int
+    recovery_ops: int
+    recovery_cycles: float
+
+
+@dataclass
+class CrashCampaignResult:
+    workload: str
+    trials: List[CrashTrial] = field(default_factory=list)
+
+    @property
+    def all_recovered(self) -> bool:
+        return all(t.recovered_ok for t in self.trials if t.crashed)
+
+    @property
+    def crashes(self) -> int:
+        return sum(1 for t in self.trials if t.crashed)
+
+    def mean_recovery_ops(self) -> float:
+        """Average recovery ops across the crashed trials."""
+        crashed = [t for t in self.trials if t.crashed]
+        if not crashed:
+            return 0.0
+        return sum(t.recovery_ops for t in crashed) / len(crashed)
+
+
+def run_crash_campaign(
+    workload: Workload,
+    config: MachineConfig,
+    crash_points: List[int],
+    num_threads: int = 2,
+    engine: str = "modular",
+    cleaner_period: Optional[float] = None,
+) -> CrashCampaignResult:
+    """Crash an LP run at each op count, recover, verify exactness."""
+    campaign = CrashCampaignResult(workload=workload.name)
+    for at_op in crash_points:
+        machine = Machine(config)
+        if cleaner_period is not None:
+            machine.cleaner = PeriodicCleaner(cleaner_period)
+        bound = workload.bind(machine, num_threads=num_threads, engine=engine)
+        result, post = run_with_crash(
+            machine, bound.threads("lp"), CrashPlan(at_op=at_op)
+        )
+        if not result.crashed:
+            # workload finished first: nothing to recover, still verify
+            campaign.trials.append(
+                CrashTrial(at_op, False, bound.verify(), result.nvmm_writes, 0, 0.0)
+            )
+            continue
+        rebound = workload.bind(
+            post, num_threads=num_threads, engine=engine, create=False
+        )
+        rres = post.run(rebound.recovery_threads())
+        campaign.trials.append(
+            CrashTrial(
+                crash_at_op=at_op,
+                crashed=True,
+                recovered_ok=rebound.verify(),
+                writes_before_crash=result.nvmm_writes,
+                recovery_ops=rres.ops_executed,
+                recovery_cycles=rres.exec_cycles,
+            )
+        )
+    return campaign

@@ -1,0 +1,69 @@
+"""Formatting helpers: print results the way the paper's tables do."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Mapping, Sequence
+
+
+def normalize(value: float, base: float) -> float:
+    """value / base with a guard for empty baselines."""
+    if base == 0:
+        return float("inf") if value else 1.0
+    return value / base
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (how the paper averages normalized overheads)."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean needs positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A plain monospace table, stable for diffing in bench output."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def paper_vs_measured(
+    rows: Mapping[str, tuple],
+    metric: str,
+) -> str:
+    """Table of (scheme -> (paper value, measured value)) pairs."""
+    table_rows = [
+        [name, paper, measured, normalize(measured, paper)]
+        for name, (paper, measured) in rows.items()
+    ]
+    return format_table(
+        ["scheme", f"paper {metric}", f"measured {metric}", "ratio"],
+        table_rows,
+    )

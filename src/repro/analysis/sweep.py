@@ -1,0 +1,100 @@
+"""Parameter sweeps for the sensitivity studies (Figures 11, 14, 15).
+
+Each sweep varies exactly the knob its figure varies — NVMM latency,
+thread count, L2 capacity, checksum engine, cleaner period — holding
+everything else fixed, and returns per-point
+:class:`~repro.analysis.experiments.ExperimentResult` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import ExperimentResult, run_variant
+from repro.sim.config import MachineConfig
+from repro.workloads.base import Workload
+
+
+def sweep_nvmm_latency(
+    workload: Workload,
+    config: MachineConfig,
+    latencies: Sequence[Tuple[float, float]],
+    variants: Sequence[str] = ("base", "lp", "ep"),
+    num_threads: int = 8,
+) -> Dict[Tuple[float, float], Dict[str, ExperimentResult]]:
+    """Figure 14(a): (read, write) latency points, in cycles."""
+    out: Dict[Tuple[float, float], Dict[str, ExperimentResult]] = {}
+    for read_cycles, write_cycles in latencies:
+        cfg = config.with_nvmm_latency(read_cycles, write_cycles)
+        out[(read_cycles, write_cycles)] = {
+            v: run_variant(workload, cfg, v, num_threads=num_threads)
+            for v in variants
+        }
+    return out
+
+
+def sweep_threads(
+    workload: Workload,
+    config: MachineConfig,
+    thread_counts: Sequence[int],
+    variants: Sequence[str] = ("base", "lp"),
+) -> Dict[int, Dict[str, ExperimentResult]]:
+    """Figure 14(b): scalability from 1 to 16 threads."""
+    out: Dict[int, Dict[str, ExperimentResult]] = {}
+    for p in thread_counts:
+        cfg = config.with_cores(max(p + 1, config.num_cores, p))
+        out[p] = {
+            v: run_variant(workload, cfg, v, num_threads=p) for v in variants
+        }
+    return out
+
+
+def sweep_l2_size(
+    workload: Workload,
+    config: MachineConfig,
+    sizes_bytes: Sequence[int],
+    variants: Sequence[str] = ("base", "lp"),
+    num_threads: int = 8,
+) -> Dict[int, Dict[str, ExperimentResult]]:
+    """Figure 15(a): L2 capacity sweep."""
+    out: Dict[int, Dict[str, ExperimentResult]] = {}
+    for size in sizes_bytes:
+        cfg = config.with_l2_size(size)
+        out[size] = {
+            v: run_variant(workload, cfg, v, num_threads=num_threads)
+            for v in variants
+        }
+    return out
+
+
+def sweep_checksum(
+    workload: Workload,
+    config: MachineConfig,
+    engines: Sequence[str],
+    num_threads: int = 8,
+) -> Dict[str, ExperimentResult]:
+    """Figure 15(b): LP under each error-detection code."""
+    return {
+        e: run_variant(workload, config, "lp", num_threads=num_threads, engine=e)
+        for e in engines
+    }
+
+
+def sweep_cleaner_period(
+    workload: Workload,
+    config: MachineConfig,
+    periods: Sequence[Optional[float]],
+    variant: str = "lp",
+    num_threads: int = 8,
+) -> Dict[Optional[float], ExperimentResult]:
+    """Figure 11: periodic-flush interval sweep (None = no cleaner)."""
+    return {
+        p: run_variant(
+            workload,
+            config,
+            variant,
+            num_threads=num_threads,
+            cleaner_period=p,
+        )
+        for p in periods
+    }

@@ -1,0 +1,344 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Examples::
+
+    python -m repro list
+    python -m repro run tmm --variant lp --threads 4 -p n=48 -p bsize=8
+    python -m repro compare tmm --variants base,lp,ep --threads 4
+    python -m repro crash tmm --at-op 20000 --threads 2 -p n=24
+    python -m repro sweep checksum tmm --threads 4
+
+Machine presets: ``scaled`` (default; Table II shrunk to Python-scale
+problems), ``paper`` (Table II verbatim) and ``real`` (Table III DRAM
+system).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis.crashlab import run_crash_campaign
+from repro.analysis.experiments import compare_variants, run_variant
+from repro.analysis.reporting import format_table
+from repro.analysis import sweep as sweeps
+from repro.core.checksum import available_engines
+from repro.sim.config import (
+    MachineConfig,
+    paper_machine,
+    real_system_machine,
+    scaled_machine,
+)
+from repro.workloads import available_workloads, get_workload
+
+_PRESETS = {
+    "scaled": scaled_machine,
+    "paper": paper_machine,
+    "real": real_system_machine,
+}
+
+
+def _parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
+    """-p key=value pairs; ints stay ints, known literals convert."""
+    params: Dict[str, object] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"bad -p argument {pair!r}; expected key=value")
+        key, raw = pair.split("=", 1)
+        value: object
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                value = raw
+        params[key] = value
+    return params
+
+
+def _machine(args) -> MachineConfig:
+    cfg = _PRESETS[args.machine](num_cores=max(args.threads + 1, 2))
+    return cfg
+
+
+def _workload(args):
+    return get_workload(args.workload)(**_parse_params(args.param))
+
+
+def _cmd_list(args) -> int:
+    rows = []
+    for name in available_workloads():
+        cls = get_workload(name)
+        rows.append([name, ", ".join(cls.variants)])
+    print(format_table(["workload", "variants"], rows, title="Workloads"))
+    print()
+    print(
+        format_table(
+            ["engine"], [[e] for e in available_engines()],
+            title="Checksum engines",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["preset"], [[p] for p in sorted(_PRESETS)],
+            title="Machine presets",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_variant(
+        _workload(args),
+        _machine(args),
+        args.variant,
+        num_threads=args.threads,
+        engine=args.engine,
+        cleaner_period=args.cleaner_period,
+        drain=args.drain,
+    )
+    rows = [[k, v] for k, v in sorted(result.summary_dict().items())]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=f"{args.workload}+{args.variant} ({args.threads} threads)",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    variants = args.variants.split(",")
+    results = compare_variants(
+        _workload(args),
+        _machine(args),
+        variants,
+        num_threads=args.threads,
+        engine=args.engine,
+        drain=True,  # count residual dirty lines: fair at small scale
+    )
+    base_name = variants[0]
+    base = results[base_name]
+    rows = []
+    for name in variants:
+        r = results[name]
+        writes = (
+            r.total_writes / base.total_writes
+            if base.total_writes
+            else float("inf")
+        )
+        rows.append(
+            [
+                name,
+                round(r.exec_cycles / base.exec_cycles, 4),
+                round(writes, 4),
+                round(r.l2_miss_rate, 3),
+            ]
+        )
+    print(
+        format_table(
+            ["variant", f"exec (vs {base_name})", "writes", "L2MR"],
+            rows,
+            title=f"{args.workload}: variant comparison",
+        )
+    )
+    return 0
+
+
+def _cmd_crash(args) -> int:
+    campaign = run_crash_campaign(
+        _workload(args),
+        _machine(args),
+        crash_points=[args.at_op],
+        num_threads=args.threads,
+        engine=args.engine,
+        cleaner_period=args.cleaner_period,
+    )
+    trial = campaign.trials[0]
+    rows = [
+        ["crashed", trial.crashed],
+        ["writes before crash", trial.writes_before_crash],
+        ["recovery ops", trial.recovery_ops],
+        ["recovery cycles", round(trial.recovery_cycles)],
+        ["output exact", trial.recovered_ok],
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=f"{args.workload}+LP crash at op {args.at_op}",
+        )
+    )
+    return 0 if trial.recovered_ok else 1
+
+
+def _cmd_idempotence(args) -> int:
+    from repro.core.idempotence import classify_workload
+    from repro.sim.machine import Machine
+
+    report = classify_workload(
+        _workload(args),
+        Machine(_machine(args)),
+        num_threads=args.threads,
+        engine=args.engine,
+    )
+    summary = report.summary()
+    rows = [[k, v] for k, v in summary.items()]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            title=f"{args.workload}: LP-region idempotence (section III-E)",
+        )
+    )
+    if report.all_idempotent:
+        print("\nall regions idempotent: recovery = re-run mismatched regions")
+    else:
+        sample = report.violating_regions[0]
+        print(
+            f"\nregions overwrite live-ins (e.g. {sample.label}: "
+            f"{len(sample.overwritten_live_ins)} locations): recovery "
+            "needs frontier/replay machinery"
+        )
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.analysis.paperfigures import reproduce
+
+    report = reproduce(scale=args.scale)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        print(f"\n[report saved to {args.out}]")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    wl = _workload(args)
+    cfg = _machine(args)
+    if args.kind == "checksum":
+        out = sweeps.sweep_checksum(
+            wl, cfg, available_engines(), num_threads=args.threads
+        )
+        rows = [
+            [name, round(r.exec_cycles), r.nvmm_writes]
+            for name, r in out.items()
+        ]
+        headers = ["engine", "exec cycles", "writes"]
+    elif args.kind == "latency":
+        points = [(120.0, 300.0), (210.0, 450.0), (300.0, 600.0)]
+        out = sweeps.sweep_nvmm_latency(
+            wl, cfg, points, variants=("base", "lp"), num_threads=args.threads
+        )
+        rows = [
+            [
+                f"{int(r / 2)}ns/{int(w / 2)}ns",
+                round(res["lp"].exec_cycles / res["base"].exec_cycles, 4),
+            ]
+            for (r, w), res in out.items()
+        ]
+        headers = ["(read/write)", "LP exec vs base"]
+    elif args.kind == "threads":
+        counts = [1, 2, 4, 8]
+        out = sweeps.sweep_threads(wl, cfg, counts, variants=("base", "lp"))
+        rows = [
+            [
+                p,
+                round(res["base"].exec_cycles),
+                round(res["lp"].exec_cycles),
+            ]
+            for p, res in out.items()
+        ]
+        headers = ["threads", "base cycles", "LP cycles"]
+    else:  # cleaner
+        periods = [1000.0, 10000.0, 100000.0, None]
+        out = sweeps.sweep_cleaner_period(
+            wl, cfg, periods, num_threads=args.threads
+        )
+        rows = [
+            [
+                "none" if p is None else int(p),
+                res.nvmm_writes,
+                res.cleaner_writes,
+            ]
+            for p, res in out.items()
+        ]
+        headers = ["period (cycles)", "writes", "cleaner writes"]
+    print(format_table(headers, rows, title=f"{args.workload}: {args.kind} sweep"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lazy Persistency (ISCA 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, engines, presets")
+
+    def common(p):
+        p.add_argument("workload", choices=available_workloads())
+        p.add_argument("--threads", type=int, default=2)
+        p.add_argument("--machine", choices=sorted(_PRESETS), default="scaled")
+        p.add_argument("--engine", default="modular")
+        p.add_argument(
+            "-p", "--param", action="append", metavar="KEY=VALUE",
+            help="workload parameter (repeatable), e.g. -p n=48",
+        )
+
+    p_run = sub.add_parser("run", help="run one variant and print metrics")
+    common(p_run)
+    p_run.add_argument("--variant", default="lp")
+    p_run.add_argument("--cleaner-period", type=float, default=None)
+    p_run.add_argument("--drain", action="store_true")
+
+    p_cmp = sub.add_parser("compare", help="compare variants (normalized)")
+    common(p_cmp)
+    p_cmp.add_argument("--variants", default="base,lp,ep")
+
+    p_crash = sub.add_parser("crash", help="crash an LP run and recover")
+    common(p_crash)
+    p_crash.add_argument("--at-op", type=int, required=True)
+    p_crash.add_argument("--cleaner-period", type=float, default=None)
+
+    p_sweep = sub.add_parser("sweep", help="parameter sweeps")
+    p_sweep.add_argument(
+        "kind", choices=["checksum", "latency", "threads", "cleaner"]
+    )
+    common(p_sweep)
+
+    p_idem = sub.add_parser(
+        "idempotence", help="classify a workload's LP regions (III-E)"
+    )
+    common(p_idem)
+
+    p_rep = sub.add_parser(
+        "reproduce", help="compact end-to-end paper reproduction report"
+    )
+    p_rep.add_argument("--scale", choices=["smoke", "quick"], default="quick")
+    p_rep.add_argument("--out", default=None, help="also write report here")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "crash": _cmd_crash,
+        "sweep": _cmd_sweep,
+        "idempotence": _cmd_idempotence,
+        "reproduce": _cmd_reproduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

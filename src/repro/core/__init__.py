@@ -1,0 +1,64 @@
+"""The paper's contribution: the Lazy Persistency runtime.
+
+Lazy Persistency (LP) lets dirty data reach NVMM through natural cache
+evictions instead of eager flushes.  Failure detection is a software
+checksum per *LP region*; recovery recomputes regions whose persistent
+data does not match their persistent checksum.
+
+This package provides:
+
+* :mod:`repro.core.checksum` — the error-detection codes the paper
+  evaluates (parity, modular, Adler-32, parallel modular+parity);
+* :mod:`repro.core.hashtable` — the standalone checksum hash table of
+  Figure 7(b), collision-free by key construction;
+* :mod:`repro.core.region` — the per-region running checksum;
+* :mod:`repro.core.lazy` — the LP programmer API
+  (ResetCheckSum / UpdateCheckSum / commit of Figure 8);
+* :mod:`repro.core.eager` — Eager Persistency helpers used by the
+  EagerRecompute baseline and by LP's own recovery code;
+* :mod:`repro.core.wal` — PMEM-style durable transactions with
+  write-ahead logging (Figure 2);
+* :mod:`repro.core.recovery` — recovery drivers (Figure 9 generalised);
+* :mod:`repro.core.accuracy` — the section III-D checksum accuracy
+  (error injection) study.
+"""
+
+from repro.core.checksum import (
+    Adler32Checksum,
+    ChecksumEngine,
+    ModularChecksum,
+    ParallelChecksum,
+    ParityChecksum,
+    get_engine,
+)
+from repro.core.hashtable import INVALID_CHECKSUM, ChecksumTable
+from repro.core.idempotence import (
+    IdempotenceReport,
+    RegionFootprint,
+    analyze_trace,
+    classify_workload,
+)
+from repro.core.lazy import LPRuntime
+from repro.core.region import RegionChecksum
+from repro.core.eager import persist_addrs, persist_region
+from repro.core.wal import WriteAheadLog
+
+__all__ = [
+    "Adler32Checksum",
+    "ChecksumEngine",
+    "ModularChecksum",
+    "ParallelChecksum",
+    "ParityChecksum",
+    "get_engine",
+    "INVALID_CHECKSUM",
+    "ChecksumTable",
+    "IdempotenceReport",
+    "RegionFootprint",
+    "analyze_trace",
+    "classify_workload",
+    "LPRuntime",
+    "RegionChecksum",
+    "persist_addrs",
+    "persist_region",
+    "WriteAheadLog",
+]

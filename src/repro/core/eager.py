@@ -1,0 +1,69 @@
+"""Eager Persistency helpers (PMEM-style flush + fence sequences).
+
+These are the building blocks of the paper's baselines and of LP's own
+recovery code (which is deliberately Eager to guarantee forward
+progress, section III-E): ``clflushopt`` every line covering a set of
+addresses, then one ``sfence``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional
+
+from repro.sim.address import line_of
+from repro.sim.isa import Fence, Flush, FlushWB, Op, Store
+
+
+def lines_covering(addrs: Iterable[int]) -> list:
+    """Distinct line addresses covering ``addrs``, in first-seen order.
+
+    clflushopt works on whole lines, so flushing a 16-element stride
+    that spans two lines takes two flushes — this dedupe is what lets
+    the paper say a bsize tile row "can be persisted using only one
+    clflushopt".
+    """
+    seen = []
+    seen_set = set()
+    for addr in addrs:
+        line = line_of(addr)
+        if line not in seen_set:
+            seen_set.add(line)
+            seen.append(line)
+    return seen
+
+
+def persist_addrs(addrs: Iterable[int]) -> Generator[Op, Optional[float], None]:
+    """clflushopt every line under ``addrs`` (no fence)."""
+    for line in lines_covering(addrs):
+        yield Flush(line)
+
+
+def writeback_addrs(addrs: Iterable[int]) -> Generator[Op, Optional[float], None]:
+    """clwb every line under ``addrs`` (no fence): persist but keep the
+    lines cached.
+
+    x86 provides clwb precisely for data that will be read again soon
+    after being persisted; Eager variants of kernels that immediately
+    re-read their own output (e.g. Cholesky's left-looking columns) use
+    this instead of clflushopt so the eager cost is the flush + fence
+    traffic itself, not an artificial invalidation-refetch storm that
+    the paper's out-of-order cores would have overlapped.
+    """
+    for line in lines_covering(addrs):
+        yield FlushWB(line)
+
+
+def persist_region(addrs: Iterable[int]) -> Generator[Op, Optional[float], None]:
+    """clflushopt every line under ``addrs``, then sfence.
+
+    The canonical Eager Persistency "make this durable now" sequence.
+    """
+    yield from persist_addrs(addrs)
+    yield Fence()
+
+
+def durable_store(addr: int, value: float) -> Generator[Op, Optional[float], None]:
+    """store; clflushopt; sfence — one durably ordered store."""
+    yield Store(addr, value)
+    yield Flush(addr)
+    yield Fence()

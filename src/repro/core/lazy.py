@@ -1,0 +1,95 @@
+"""The Lazy Persistency programmer API (paper Figures 5 and 8).
+
+:class:`LPRuntime` bundles a checksum engine with a collision-free
+checksum table and exposes the three-call pattern of Figure 8::
+
+    ck = lp.begin_region()              # ResetCheckSum()
+    ...
+    yield Store(addr, v)
+    yield from ck.update(v)             # UpdateCheckSum(v)
+    ...
+    yield from lp.commit(ck, ii, kk, tid)   # HashTable[h] = GetCheckSum()
+
+Nothing is flushed and no fences are issued: both the data and the
+checksum reach NVMM by natural cache eviction.  After a crash,
+:meth:`LPRuntime.region_is_consistent` replays the checksum over the
+persistent image to decide whether the region needs recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional, Sequence
+
+from repro.sim.isa import Op
+from repro.sim.machine import Machine
+from repro.core.checksum import ChecksumEngine, get_engine
+from repro.core.hashtable import ChecksumTable
+from repro.core.region import RegionChecksum
+
+
+class LPRuntime:
+    """Lazy Persistency over one checksum table."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        table_name: str,
+        dims: Sequence[int],
+        engine: "ChecksumEngine | str" = "modular",
+        create: bool = True,
+    ) -> None:
+        self.engine = get_engine(engine) if isinstance(engine, str) else engine
+        self.table = ChecksumTable(
+            machine, table_name, dims, self.engine, create=create
+        )
+        self.machine = machine
+
+    @classmethod
+    def attach(
+        cls,
+        machine: Machine,
+        table_name: str,
+        dims: Sequence[int],
+        engine: "ChecksumEngine | str" = "modular",
+    ) -> "LPRuntime":
+        """Re-attach to an existing table (post-crash recovery path)."""
+        return cls(machine, table_name, dims, engine, create=False)
+
+    # -- normal execution ---------------------------------------------------
+
+    def begin_region(self) -> RegionChecksum:
+        """ResetCheckSum(): a fresh running checksum for a new region."""
+        return RegionChecksum(self.engine)
+
+    def commit(
+        self, ck: RegionChecksum, *key: int
+    ) -> Generator[Op, Optional[float], None]:
+        """Store the region's checksum to its table slot, lazily."""
+        yield from self.table.commit_lazy(ck.value, *key)
+
+    def commit_eager(
+        self, ck: RegionChecksum, *key: int
+    ) -> Generator[Op, Optional[float], None]:
+        """Eagerly-persisted checksum commit (the III-D alternative)."""
+        yield from self.table.commit_eager(ck.value, *key)
+
+    # -- recovery side --------------------------------------------------------
+
+    def region_is_consistent(
+        self, persisted_values: Iterable[float], *key: int
+    ) -> bool:
+        """Figure 5(c): recompute over persisted data, compare to slot.
+
+        False on mismatch *or* if the region never committed a
+        checksum — both require recomputation.
+        """
+        return self.table.matches(persisted_values, *key)
+
+    def region_committed(self, *key: int) -> bool:
+        """True if any checksum for this region ever persisted."""
+        return self.table.is_committed(*key)
+
+    @property
+    def space_overhead_bytes(self) -> int:
+        """Table footprint (the paper reports ~1% of the matrices)."""
+        return self.table.size_bytes

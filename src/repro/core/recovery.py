@@ -1,0 +1,87 @@
+"""Recovery drivers (paper section III-E and Figure 9, generalised).
+
+Recovery is workload-specific — each workload module implements its own
+``recover()`` — but the structure the paper describes for TMM recurs in
+every in-place kernel:
+
+1. scan the checksum table in **reverse program order** over the major
+   (output-dependent) loop;
+2. the first major step with at least one matching region marks the
+   **restart frontier**: everything before it is either consistent or
+   repairable within that step, everything after it never ran or is
+   fully void;
+3. repair inconsistent regions at the frontier, then resume normal
+   execution after it — all with *Eager* Persistency, so a crash during
+   recovery cannot lose progress.
+
+:func:`find_restart_frontier` implements step 1-2; the
+:class:`RecoveryReport` aggregates what a recovery run did so tests
+and experiments can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass observed and did."""
+
+    #: Major step from which normal execution resumes (None = from scratch).
+    frontier: Optional[int] = None
+    regions_checked: int = 0
+    regions_consistent: int = 0
+    regions_repaired: int = 0
+    #: Simulated cycles spent by the recovery machine (if timed).
+    recovery_cycles: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def recomputed_fraction(self) -> float:
+        if self.regions_checked == 0:
+            return 0.0
+        return self.regions_repaired / self.regions_checked
+
+    def note(self, msg: str) -> None:
+        """Append a free-form diagnostic note."""
+        self.notes.append(msg)
+
+
+def find_restart_frontier(
+    majors: Sequence[int],
+    minors: Sequence[int],
+    is_consistent: Callable[[int, int], bool],
+    report: Optional[RecoveryReport] = None,
+) -> Optional[int]:
+    """Figure 9's reverse scan.
+
+    Walk ``majors`` (e.g. kk tiles) from last to first; the first major
+    with at least one consistent minor region (e.g. an ii tile whose
+    checksum matches) is the restart frontier.  Returns None when no
+    region anywhere is consistent — recovery must recompute from the
+    beginning.
+    """
+    for major in reversed(list(majors)):
+        for minor in minors:
+            if report is not None:
+                report.regions_checked += 1
+            if is_consistent(major, minor):
+                if report is not None:
+                    report.frontier = major
+                    report.regions_consistent += 1
+                return major
+    return None
+
+
+def partition_regions(
+    minors: Iterable[int],
+    is_consistent: Callable[[int], bool],
+) -> Tuple[List[int], List[int]]:
+    """Split one major step's regions into (consistent, inconsistent)."""
+    good: List[int] = []
+    bad: List[int] = []
+    for minor in minors:
+        (good if is_consistent(minor) else bad).append(minor)
+    return good, bad

@@ -1,0 +1,53 @@
+"""Per-region running checksum (the paper's ResetCheckSum /
+UpdateCheckSum / GetCheckSum of Figure 8).
+
+A :class:`RegionChecksum` lives in registers during normal execution —
+only its committed value ever touches memory — so an update costs just
+the engine's arithmetic, which is the whole point of Lazy Persistency's
+near-zero overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.isa import Compute, Op
+from repro.core.checksum import ChecksumEngine
+
+
+class RegionChecksum:
+    """Running checksum for one LP region."""
+
+    def __init__(self, engine: ChecksumEngine) -> None:
+        self.engine = engine
+        self._state = engine.reset()
+        self.updates = 0
+
+    def reset(self) -> None:
+        """ResetCheckSum(): start a new region."""
+        self._state = self.engine.reset()
+        self.updates = 0
+
+    def update(self, value: float) -> Generator[Op, Optional[float], None]:
+        """UpdateCheckSum(value): fold a stored value in.
+
+        A generator so workloads can ``yield from`` it; charges the
+        engine's arithmetic cost to the issuing core.
+        """
+        self._state = self.engine.update(self._state, value)
+        self.updates += 1
+        yield Compute(self.engine.flops_per_update)
+
+    def update_silent(self, value: float) -> None:
+        """Fold a value in without charging simulation cost.
+
+        Used by recovery-side validation where the caller accounts for
+        the loads itself, and by tests.
+        """
+        self._state = self.engine.update(self._state, value)
+        self.updates += 1
+
+    @property
+    def value(self) -> int:
+        """GetCheckSum(): the committable checksum."""
+        return self.engine.finalize(self._state)

@@ -1,0 +1,59 @@
+"""Multicore cache-hierarchy / NVMM simulator substrate.
+
+This subpackage is the stand-in for the paper's gem5+Ruby testbed: an
+execution-driven simulator with per-core L1 caches, a shared inclusive
+L2, MESI-style coherence, bounded MSHR/store-buffer structures, a memory
+controller whose write queue is in the ADR persistence domain, and an
+NVMM device with asymmetric read/write latencies.
+
+The public surface re-exported here is everything workloads and the
+persistency runtime need; deeper internals stay in their modules.
+"""
+
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    NVMMConfig,
+    paper_machine,
+    real_system_machine,
+    scaled_machine,
+)
+from repro.sim.isa import (
+    Barrier,
+    Compute,
+    Fence,
+    Flush,
+    FlushWB,
+    Load,
+    RegionMark,
+    Store,
+)
+from repro.sim.machine import Machine, RunResult
+from repro.sim.cleaner import PeriodicCleaner
+from repro.sim.crash import CrashPlan, run_with_crash
+from repro.sim.stats import MachineStats
+
+__all__ = [
+    "Barrier",
+    "PeriodicCleaner",
+    "CacheConfig",
+    "CoreConfig",
+    "MachineConfig",
+    "NVMMConfig",
+    "paper_machine",
+    "real_system_machine",
+    "scaled_machine",
+    "Compute",
+    "Fence",
+    "Flush",
+    "FlushWB",
+    "Load",
+    "RegionMark",
+    "Store",
+    "Machine",
+    "RunResult",
+    "CrashPlan",
+    "run_with_crash",
+    "MachineStats",
+]

@@ -1,0 +1,112 @@
+"""Flat address space and allocator.
+
+All persistent data lives in one flat byte-addressed space.  Values are
+modelled at 8-byte element granularity (doubles / int64); cache lines
+are 64 bytes, so one line holds eight elements.  The allocator hands out
+line-aligned regions so distinct arrays never share a cache line, which
+matches how persistent heaps align allocations in practice and keeps
+false sharing out of the reproduction unless a workload asks for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AddressError
+from repro.sim.config import ELEMENT_BYTES, LINE_BYTES
+
+
+def line_of(addr: int) -> int:
+    """The line-aligned base address containing ``addr``."""
+    return addr & ~(LINE_BYTES - 1)
+
+
+def element_addrs_of_line(line_addr: int) -> range:
+    """Element-aligned addresses covered by the line at ``line_addr``."""
+    return range(line_addr, line_addr + LINE_BYTES, ELEMENT_BYTES)
+
+
+def is_element_aligned(addr: int) -> bool:
+    """True if ``addr`` is 8-byte (element) aligned."""
+    return addr % ELEMENT_BYTES == 0
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous allocated region of persistent memory."""
+
+    name: str
+    base: int
+    num_elements: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * ELEMENT_BYTES
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def addr(self, index: int) -> int:
+        """Element address for a flat index into this region."""
+        if not 0 <= index < self.num_elements:
+            raise AddressError(
+                f"index {index} out of range for region {self.name!r} "
+                f"of {self.num_elements} elements"
+            )
+        return self.base + index * ELEMENT_BYTES
+
+    def element_addrs(self) -> Iterator[int]:
+        """Element addresses of this region, in order."""
+        return iter(range(self.base, self.end, ELEMENT_BYTES))
+
+    def lines(self) -> Iterator[int]:
+        """Line base addresses covering this region."""
+        return iter(range(line_of(self.base), self.end, LINE_BYTES))
+
+
+class Allocator:
+    """Bump allocator over the flat space; allocations are line-aligned."""
+
+    def __init__(self, memory_bytes: int, base: int = LINE_BYTES) -> None:
+        # Start at one line in so that address 0 is never valid data;
+        # a zero address showing up in the hierarchy is then always a bug.
+        self._next = base
+        self._limit = memory_bytes
+        self._regions: dict = {}
+
+    def alloc(self, name: str, num_elements: int) -> Region:
+        """Allocate ``num_elements`` under ``name``; line-aligned."""
+        if num_elements <= 0:
+            raise AddressError(f"cannot allocate {num_elements} elements")
+        if name in self._regions:
+            raise AddressError(f"region name {name!r} already allocated")
+        base = self._next
+        size = num_elements * ELEMENT_BYTES
+        # Round region size up to whole lines so regions never share lines.
+        padded = (size + LINE_BYTES - 1) & ~(LINE_BYTES - 1)
+        if base + padded > self._limit:
+            raise AddressError(
+                f"out of simulated memory allocating {name!r} "
+                f"({padded}B at {base:#x}, limit {self._limit:#x})"
+            )
+        self._next = base + padded
+        region = Region(name=name, base=base, num_elements=num_elements)
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        """Look up a region by name; raises AddressError if absent."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise AddressError(f"no region named {name!r}") from None
+
+    @property
+    def regions(self) -> dict:
+        return dict(self._regions)
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._next - LINE_BYTES

@@ -1,0 +1,137 @@
+"""Set-associative write-back cache with LRU replacement.
+
+One :class:`Cache` instance models either a private L1 or the shared L2.
+Lines carry a MESI state; the coherence protocol in
+:mod:`repro.sim.coherence` drives the state transitions, this module
+only provides the storage structure (lookup, install, evict, LRU).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.config import CacheConfig
+
+
+class State(enum.Enum):
+    """MESI line states."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    # INVALID lines are simply absent from the cache.
+
+
+@dataclass
+class Line:
+    """One resident cache line."""
+
+    addr: int
+    state: State
+    #: Cycle at which the line's data first diverged from NVMM, for
+    #: volatility-duration accounting; None while clean.
+    dirty_since: Optional[float] = None
+    last_used: int = 0
+
+    @property
+    def dirty(self) -> bool:
+        return self.state is State.MODIFIED
+
+
+_lru_clock = itertools.count(1)
+
+
+class Cache:
+    """Set-associative store of :class:`Line` objects."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._sets: List[Dict[int, Line]] = [
+            {} for _ in range(config.num_sets)
+        ]
+
+    # -- geometry ---------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        """Set index the line address maps to."""
+        return (line_addr // self.config.line_bytes) % self.config.num_sets
+
+    def _set_of(self, line_addr: int) -> Dict[int, Line]:
+        return self._sets[self.set_index(line_addr)]
+
+    # -- lookups ----------------------------------------------------------
+
+    def get(self, line_addr: int) -> Optional[Line]:
+        """Return the resident line, or None, without touching LRU."""
+        return self._set_of(line_addr).get(line_addr)
+
+    def access(self, line_addr: int) -> Optional[Line]:
+        """Lookup that refreshes LRU on hit."""
+        line = self.get(line_addr)
+        if line is not None:
+            line.last_used = next(_lru_clock)
+        return line
+
+    def contains(self, line_addr: int) -> bool:
+        """True if the line is resident (no LRU update)."""
+        return line_addr in self._set_of(line_addr)
+
+    # -- mutation ---------------------------------------------------------
+
+    def install(self, line_addr: int, state: State) -> Line:
+        """Insert a line; the set must have room (evict first)."""
+        cset = self._set_of(line_addr)
+        if line_addr in cset:
+            raise SimulationError(
+                f"{self.name}: double install of line {line_addr:#x}"
+            )
+        if len(cset) >= self.config.ways:
+            raise SimulationError(
+                f"{self.name}: set full installing {line_addr:#x}; "
+                "victim must be evicted first"
+            )
+        line = Line(addr=line_addr, state=state, last_used=next(_lru_clock))
+        cset[line_addr] = line
+        return line
+
+    def victim_for(self, line_addr: int) -> Optional[Line]:
+        """The LRU line that must leave before ``line_addr`` can install."""
+        cset = self._set_of(line_addr)
+        if len(cset) < self.config.ways or line_addr in cset:
+            return None
+        return min(cset.values(), key=lambda ln: ln.last_used)
+
+    def remove(self, line_addr: int) -> Line:
+        """Evict a resident line; returns it."""
+        cset = self._set_of(line_addr)
+        try:
+            return cset.pop(line_addr)
+        except KeyError:
+            raise SimulationError(
+                f"{self.name}: removing absent line {line_addr:#x}"
+            ) from None
+
+    def drop_all(self) -> None:
+        """Invalidate the whole cache (used by crash rebuild and tests)."""
+        for cset in self._sets:
+            cset.clear()
+
+    # -- iteration --------------------------------------------------------
+
+    def lines(self) -> Iterator[Line]:
+        """Iterate all resident lines."""
+        for cset in self._sets:
+            yield from cset.values()
+
+    def dirty_lines(self) -> Iterator[Line]:
+        """Iterate resident MODIFIED lines."""
+        return (ln for ln in self.lines() if ln.dirty)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,365 @@
+"""Two-level coherent cache hierarchy (private L1s, shared inclusive L2).
+
+Implements the paper's "MESI two-level protocol" at the granularity the
+reproduction needs: line states, ownership transfer, upgrade
+invalidations, inclusive back-invalidation, and — crucially for Lazy
+Persistency — the exact paths by which dirty data reaches the memory
+controller:
+
+* natural eviction of a dirty L2 line (or recall of an L1 ``M`` copy
+  when its inclusive L2 line is evicted),
+* ``clflushopt`` (persist + invalidate),
+* ``clwb`` (persist, keep resident clean),
+* the periodic hardware cleaner of section III-E.1.
+
+Because the machine scheduler serialises ops, protocol transient states
+and races do not arise; transitions are applied atomically at the
+issuing core's clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.address import line_of
+from repro.sim.cache import Cache, Line, State
+from repro.sim.config import MachineConfig
+from repro.sim.nvmm import MemoryController
+from repro.sim.stats import MachineStats
+from repro.sim.valuestore import MemoryState
+
+
+@dataclass
+class Access:
+    """Outcome of a load/store as seen by the issuing core."""
+
+    l1_hit: bool
+    #: Cycles beyond the L1-hit issue cost until data/ownership arrives.
+    extra_latency: float = 0.0
+
+
+class Hierarchy:
+    """All caches plus the persistence path to the MC."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        mem: MemoryState,
+        stats: MachineStats,
+        mc: MemoryController,
+    ) -> None:
+        self.config = config
+        self.mem = mem
+        self.stats = stats
+        self.mc = mc
+        self.l1s: List[Cache] = [
+            Cache(config.l1, name=f"L1[{i}]") for i in range(config.num_cores)
+        ]
+        self.l2 = Cache(config.l2, name="L2")
+
+    # ------------------------------------------------------------------
+    # directory scans (L1 population is small; derive sharers by probing)
+    # ------------------------------------------------------------------
+
+    def _owner(self, line_addr: int, exclude: int = -1) -> Optional[int]:
+        """Core holding the line in M (at most one), or None."""
+        for cid, l1 in enumerate(self.l1s):
+            if cid == exclude:
+                continue
+            line = l1.get(line_addr)
+            if line is not None and line.state is State.MODIFIED:
+                return cid
+        return None
+
+    def _sharers(self, line_addr: int, exclude: int = -1) -> List[int]:
+        return [
+            cid
+            for cid, l1 in enumerate(self.l1s)
+            if cid != exclude and l1.contains(line_addr)
+        ]
+
+    # ------------------------------------------------------------------
+    # loads
+    # ------------------------------------------------------------------
+
+    def load(self, core_id: int, addr: int, now: float) -> Access:
+        """Service a load: hit fast-path or fill + coherence actions."""
+        line_addr = line_of(addr)
+        l1 = self.l1s[core_id]
+        if l1.access(line_addr) is not None:
+            return Access(l1_hit=True)
+
+        latency = self.config.l2.hit_cycles
+        self.stats.l2_accesses += 1
+
+        # Another core may hold the only up-to-date copy in M: downgrade
+        # it to S and mark the inclusive L2 line dirty (data merges down).
+        owner = self._owner(line_addr, exclude=core_id)
+        if owner is not None:
+            owner_line = self.l1s[owner].get(line_addr)
+            assert owner_line is not None
+            self._merge_dirty_into_l2(owner_line, now)
+            owner_line.state = State.SHARED
+            owner_line.dirty_since = None
+            latency += self.config.coherence_cycles
+        else:
+            # A remote EXCLUSIVE copy must drop to SHARED so its core
+            # cannot later write it without an upgrade.
+            for cid in self._sharers(line_addr, exclude=core_id):
+                remote = self.l1s[cid].get(line_addr)
+                if remote is not None and remote.state is State.EXCLUSIVE:
+                    remote.state = State.SHARED
+
+        l2_line = self.l2.access(line_addr)
+        if l2_line is None:
+            self.stats.l2_misses += 1
+            latency += self._fill_l2(line_addr, now + latency)
+
+        state = (
+            State.SHARED
+            if self._sharers(line_addr, exclude=core_id)
+            else State.EXCLUSIVE
+        )
+        latency += self._install_l1(core_id, line_addr, state, now + latency)
+        return Access(l1_hit=False, extra_latency=latency)
+
+    # ------------------------------------------------------------------
+    # stores
+    # ------------------------------------------------------------------
+
+    def store(self, core_id: int, addr: int, value: float, now: float) -> Access:
+        """Apply a store: architectural update + ownership acquisition.
+
+        The returned latency is the cost of the *drain* (acquiring
+        ownership and writing the L1), which the core charges to its
+        store buffer, not to the main pipeline.
+        """
+        self.mem.store(addr, value)
+        line_addr = line_of(addr)
+        l1 = self.l1s[core_id]
+        line = l1.access(line_addr)
+
+        if line is not None:
+            if line.state is State.MODIFIED:
+                return Access(l1_hit=True)
+            if line.state is State.EXCLUSIVE:
+                line.state = State.MODIFIED
+                line.dirty_since = now
+                return Access(l1_hit=True)
+            # SHARED: upgrade, invalidating the other copies.
+            for cid in self._sharers(line_addr, exclude=core_id):
+                self.l1s[cid].remove(line_addr)
+            line.state = State.MODIFIED
+            line.dirty_since = now
+            return Access(l1_hit=True, extra_latency=self.config.coherence_cycles)
+
+        # Write miss: read-for-ownership.
+        latency = self.config.l2.hit_cycles
+        self.stats.l2_accesses += 1
+        inherited_dirty_since: Optional[float] = None
+
+        owner = self._owner(line_addr, exclude=core_id)
+        if owner is not None:
+            owner_line = self.l1s[owner].remove(line_addr)
+            # Ownership (and the un-persisted data obligation) transfers.
+            inherited_dirty_since = owner_line.dirty_since
+            latency += self.config.coherence_cycles
+        for cid in self._sharers(line_addr, exclude=core_id):
+            self.l1s[cid].remove(line_addr)
+
+        if self.l2.access(line_addr) is None:
+            self.stats.l2_misses += 1
+            latency += self._fill_l2(line_addr, now + latency)
+
+        latency += self._install_l1(
+            core_id, line_addr, State.MODIFIED, now + latency
+        )
+        new_line = self.l1s[core_id].get(line_addr)
+        assert new_line is not None
+        new_line.dirty_since = (
+            now if inherited_dirty_since is None else inherited_dirty_since
+        )
+        return Access(l1_hit=False, extra_latency=latency)
+
+    # ------------------------------------------------------------------
+    # flushes (clflushopt / clwb) and the periodic cleaner
+    # ------------------------------------------------------------------
+
+    def flush_line(
+        self, line_addr: int, now: float, invalidate: bool, cause: str = "flush"
+    ) -> Tuple[bool, float]:
+        """Persist a line (and invalidate it for clflushopt).
+
+        Returns ``(wrote, completion_time)``; ``completion_time`` is
+        when the data was accepted into the ADR domain (== ``now`` when
+        nothing was dirty).
+        """
+        dirty_since: Optional[float] = None
+        dirty = False
+
+        owner = self._owner(line_addr)
+        if owner is not None:
+            owner_line = self.l1s[owner].get(line_addr)
+            assert owner_line is not None
+            dirty = True
+            dirty_since = owner_line.dirty_since
+            if invalidate:
+                self.l1s[owner].remove(line_addr)
+            else:
+                owner_line.state = State.EXCLUSIVE
+                owner_line.dirty_since = None
+
+        l2_line = self.l2.get(line_addr)
+        if l2_line is not None and l2_line.dirty:
+            dirty = True
+            if dirty_since is None or (
+                l2_line.dirty_since is not None
+                and l2_line.dirty_since < dirty_since
+            ):
+                dirty_since = l2_line.dirty_since
+            if not invalidate:
+                l2_line.state = State.EXCLUSIVE
+                l2_line.dirty_since = None
+
+        if invalidate:
+            for cid in self._sharers(line_addr):
+                self.l1s[cid].remove(line_addr)
+            if l2_line is not None:
+                self.l2.remove(line_addr)
+
+        if not dirty:
+            return False, now
+        arrival = now + self.config.flush_transit_cycles
+        accept = self.mc.accept_write(line_addr, arrival, cause, dirty_since)
+        return True, accept
+
+    def clean_all(self, now: float, cause: str = "cleaner") -> int:
+        """Write back every dirty line, keeping lines resident (clwb-like).
+
+        Used by the periodic hardware cleaner (section III-E.1); the
+        paper spaces these writebacks out in the background, so no core
+        latency is charged here — only MC traffic.
+        """
+        written = 0
+        dirty_lines = set()
+        for l1 in self.l1s:
+            for line in l1.dirty_lines():
+                dirty_lines.add(line.addr)
+        for line in self.l2.dirty_lines():
+            dirty_lines.add(line.addr)
+        for line_addr in sorted(dirty_lines):
+            wrote, _ = self.flush_line(line_addr, now, invalidate=False, cause=cause)
+            if wrote:
+                written += 1
+        return written
+
+    # ------------------------------------------------------------------
+    # internals: fills and evictions
+    # ------------------------------------------------------------------
+
+    def _fill_l2(self, line_addr: int, now: float) -> float:
+        """Bring a line into the L2 from NVMM; returns added latency."""
+        latency = 0.0
+        victim = self.l2.victim_for(line_addr)
+        if victim is not None:
+            latency += self._evict_l2_line(victim, now)
+        data_ready = self.mc.read(line_addr, now + latency)
+        latency += data_ready - (now + latency)
+        self.l2.install(line_addr, State.EXCLUSIVE)
+        return latency
+
+    def _evict_l2_line(self, victim: Line, now: float) -> float:
+        """Evict an L2 line: back-invalidate L1 copies, persist if dirty."""
+        dirty = victim.dirty
+        dirty_since = victim.dirty_since
+        for l1 in self.l1s:
+            l1_line = l1.get(victim.addr)
+            if l1_line is None:
+                continue
+            if l1_line.state is State.MODIFIED:
+                dirty = True
+                if dirty_since is None or (
+                    l1_line.dirty_since is not None
+                    and l1_line.dirty_since < dirty_since
+                ):
+                    dirty_since = l1_line.dirty_since
+            l1.remove(victim.addr)
+        self.l2.remove(victim.addr)
+        if not dirty:
+            return 0.0
+        # evictions are asynchronous: the evicting core only feels the
+        # queue backpressure (acceptance), never the device completion
+        accept, _ = self.mc.accept_write_timed(
+            victim.addr, now, "eviction", dirty_since
+        )
+        return max(0.0, accept - now)
+
+    def _install_l1(
+        self, core_id: int, line_addr: int, state: State, now: float
+    ) -> float:
+        """Install into an L1, evicting its LRU victim first if needed."""
+        l1 = self.l1s[core_id]
+        latency = 0.0
+        victim = l1.victim_for(line_addr)
+        if victim is not None:
+            if victim.state is State.MODIFIED:
+                self._merge_dirty_into_l2(victim, now)
+            l1.remove(victim.addr)
+        l1.install(line_addr, state)
+        return latency
+
+    def _merge_dirty_into_l2(self, l1_line: Line, now: float) -> None:
+        """Write an L1 ``M`` line's data down into the inclusive L2."""
+        l2_line = self.l2.get(l1_line.addr)
+        if l2_line is None:
+            # Inclusion guarantees presence; tolerate a miss defensively
+            # by pushing straight to the MC (data must not be lost).
+            self.mc.accept_write(
+                l1_line.addr, now, "eviction", l1_line.dirty_since
+            )
+            return
+        l2_line.state = State.MODIFIED
+        if l2_line.dirty_since is None or (
+            l1_line.dirty_since is not None
+            and l1_line.dirty_since < l2_line.dirty_since
+        ):
+            l2_line.dirty_since = l1_line.dirty_since
+
+    # ------------------------------------------------------------------
+    # introspection for tests and the crash machinery
+    # ------------------------------------------------------------------
+
+    def dirty_line_addrs(self) -> set:
+        """All line addresses whose data has not reached the MC."""
+        dirty = {ln.addr for ln in self.l2.dirty_lines()}
+        for l1 in self.l1s:
+            dirty.update(ln.addr for ln in l1.dirty_lines())
+        return dirty
+
+    def check_inclusion(self) -> None:
+        """Assert the inclusive-L2 invariant (test hook)."""
+        from repro.errors import SimulationError
+
+        for cid, l1 in enumerate(self.l1s):
+            for line in l1.lines():
+                if not self.l2.contains(line.addr):
+                    raise SimulationError(
+                        f"inclusion violated: L1[{cid}] holds "
+                        f"{line.addr:#x} absent from L2"
+                    )
+
+    def check_single_writer(self) -> None:
+        """Assert at most one M copy per line across L1s (test hook)."""
+        from repro.errors import SimulationError
+
+        owners: dict = {}
+        for cid, l1 in enumerate(self.l1s):
+            for line in l1.lines():
+                if line.state is State.MODIFIED:
+                    if line.addr in owners:
+                        raise SimulationError(
+                            f"two M copies of {line.addr:#x}: cores "
+                            f"{owners[line.addr]} and {cid}"
+                        )
+                    owners[line.addr] = cid

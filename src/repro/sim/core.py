@@ -1,0 +1,215 @@
+"""Core execution engine: op costs, bounded structures, hazard events.
+
+The paper's cores are 4-wide out-of-order; we model an in-order engine
+with throughput-style costs for common ops plus three bounded
+asynchronous structures whose backpressure recreates the structural
+hazards of Table VI:
+
+* **store buffer** — stores retire immediately and drain in the
+  background; a store that finds it full counts an FUW event (the
+  paper's "store queue full") and stalls,
+* **flush queue** — clflushopt/clwb completions park here until the MC
+  accepts the data; a full queue counts an MSHR-full event (flushes
+  occupy writeback buffers/MSHRs on real cores) and stalls,
+* **MSHRs** — load misses and background store-miss drains occupy
+  entries for the miss window.
+
+FUI (integer FU / issue pressure) is counted when a compute op issues
+while the async structures hold many in-flight ops, and FUR (load
+issue pressure) when a load miss issues under the same condition —
+both are documented proxies, see DESIGN.md section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.address import line_of
+from repro.sim.coherence import Hierarchy
+from repro.sim.config import CoreConfig
+from repro.sim.isa import (
+    Compute,
+    Fence,
+    Flush,
+    FlushWB,
+    Load,
+    Op,
+    RegionMark,
+    Store,
+)
+from repro.sim.stats import CoreStats
+from repro.sim.valuestore import MemoryState
+
+
+class Core:
+    """One hardware thread context."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        hierarchy: Hierarchy,
+        mem: MemoryState,
+        stats: CoreStats,
+    ) -> None:
+        from repro.sim.queues import BoundedQueue
+
+        self.core_id = core_id
+        self.config = config
+        self.hierarchy = hierarchy
+        self.mem = mem
+        self.stats = stats
+        self.clock = 0.0
+        self.store_buffer = BoundedQueue(
+            config.store_buffer_entries, "store_buffer"
+        )
+        self.flush_queue = BoundedQueue(
+            config.flush_queue_entries, "flush_queue"
+        )
+        self.mshrs = BoundedQueue(config.mshr_entries, "mshr")
+        self._last_drain_complete = 0.0
+
+    # ------------------------------------------------------------------
+
+    def execute(self, op: Op) -> Optional[float]:
+        """Run one op at the current clock; returns the load value if any."""
+        self.stats.ops += 1
+        if isinstance(op, Load):
+            return self._load(op)
+        if isinstance(op, Store):
+            self._store(op)
+            return None
+        if isinstance(op, Compute):
+            self._compute(op)
+            return None
+        if isinstance(op, Flush):
+            self._flush(op.addr, invalidate=True)
+            return None
+        if isinstance(op, FlushWB):
+            self._flush(op.addr, invalidate=False)
+            return None
+        if isinstance(op, Fence):
+            self._fence()
+            return None
+        if isinstance(op, RegionMark):
+            return None
+        raise SimulationError(f"unknown op {op!r}")
+
+    # -- op handlers -------------------------------------------------------
+
+    def _load(self, op: Load) -> float:
+        self.stats.loads += 1
+        access = self.hierarchy.load(self.core_id, op.addr, self.clock)
+        if access.l1_hit:
+            self.stats.l1_hits += 1
+            self.clock += self.config.l1_hit_issue_cycles
+            return self.mem.load(op.addr)
+
+        self.stats.l1_misses += 1
+        if self.mshrs.occupancy(self.clock) > 0:
+            # the miss had to arbitrate with in-flight transactions
+            self.stats.fu_read_events += 1
+        if self._async_pressure() >= self.config.fu_pressure_threshold:
+            self.stats.fu_read_events += 1
+        if self.mshrs.full(self.clock):
+            self.stats.mshr_full_events += 1
+            self._stall_to(self.mshrs.earliest_free(self.clock))
+        # Blocking miss: the core waits for the data; the MSHR entry
+        # documents the occupancy window for cross-pressure with flushes.
+        self.clock += self.config.l1_hit_issue_cycles + access.extra_latency
+        self.mshrs.push(self.clock)
+        return self.mem.load(op.addr)
+
+    def _store(self, op: Store) -> None:
+        self.stats.stores += 1
+        if self.store_buffer.full(self.clock):
+            self.stats.fu_write_events += 1
+            self._stall_to(self.store_buffer.earliest_free(self.clock))
+
+        # State transitions happen now; the timing cost is charged to
+        # the background drain of the store buffer.
+        access = self.hierarchy.store(self.core_id, op.addr, op.value, self.clock)
+        if access.l1_hit:
+            self.stats.l1_hits += 1
+        else:
+            self.stats.l1_misses += 1
+        drain_cost = self.config.store_drain_cycles + access.extra_latency
+        start = max(self.clock, self._last_drain_complete)
+        completion = start + drain_cost
+        self._last_drain_complete = completion
+        self.store_buffer.push(completion)
+        if not access.l1_hit:
+            # A store miss occupies an MSHR for its RFO window.
+            if self.mshrs.full(self.clock):
+                self.stats.mshr_full_events += 1
+                self._stall_to(self.mshrs.earliest_free(self.clock))
+            self.mshrs.push(completion)
+        self.clock += self.config.l1_hit_issue_cycles
+
+    def _compute(self, op: Compute) -> None:
+        self.stats.computes += 1
+        if self._async_pressure() >= self.config.fu_pressure_threshold:
+            self.stats.fu_int_events += 1
+        self.clock += op.flops * self.config.compute_cpi
+
+    def _flush(self, addr: int, invalidate: bool) -> None:
+        self.stats.flushes += 1
+        if self.flush_queue.full(self.clock):
+            self.stats.mshr_full_events += 1
+            self._stall_to(self.flush_queue.earliest_free(self.clock))
+        self.clock += self.config.flush_issue_cycles
+        wrote, accept_time = self.hierarchy.flush_line(
+            line_of(addr), self.clock, invalidate=invalidate
+        )
+        completion = max(accept_time, self.clock)
+        self.flush_queue.push(completion)
+        # clflushopt occupies a store-queue slot on x86 until the data
+        # leaves for the persistence domain — this is what backs stores
+        # up behind flushes (FUW pressure under Eager Persistency).
+        if self.store_buffer.full(self.clock):
+            self.stats.fu_write_events += 1
+            self._stall_to(self.store_buffer.earliest_free(self.clock))
+        self.store_buffer.push(completion)
+        if wrote:
+            # Flush data occupies an MSHR/WB buffer until MC acceptance.
+            if self.mshrs.full(self.clock):
+                self.stats.mshr_full_events += 1
+                self._stall_to(self.mshrs.earliest_free(self.clock))
+            self.mshrs.push(completion)
+
+    def _fence(self) -> None:
+        self.stats.fences += 1
+        target = max(
+            self.store_buffer.drain_time(self.clock),
+            self.flush_queue.drain_time(self.clock),
+        )
+        if target > self.clock:
+            self.stats.fence_stall_cycles += target - self.clock
+            self._stall_to(target)
+
+    def _stall_to(self, target: float) -> None:
+        """Advance the clock through a structural stall, charging the
+        lost integer-issue slots to the FUI counter (a stalled front
+        end issues nothing, which is how eager flushing inflates the
+        paper's Table VI FU counters)."""
+        if target <= self.clock:
+            return
+        self.stats.fu_int_events += int(
+            (target - self.clock) * self.config.issue_width
+        )
+        self.clock = target
+
+    # -- helpers -----------------------------------------------------------
+
+    def _async_pressure(self) -> int:
+        return self.store_buffer.occupancy(self.clock) + self.flush_queue.occupancy(
+            self.clock
+        )
+
+    def outstanding_drain_time(self) -> float:
+        """When all of this core's in-flight persistence work completes."""
+        return max(
+            self.store_buffer.drain_time(self.clock),
+            self.flush_queue.drain_time(self.clock),
+        )

@@ -1,0 +1,54 @@
+"""Crash injection helpers.
+
+A crash is modelled exactly as the paper assumes: execution stops at an
+arbitrary point, all volatile state (caches, store buffers, in-flight
+ops) is lost, and the NVMM image — everything the ADR-protected memory
+controller accepted — survives.  Recovery code then runs on a fresh
+machine whose architectural state equals that image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.machine import Machine, RunResult, ThreadGen
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Where to stop the run.  Exactly one trigger must be set."""
+
+    at_op: Optional[int] = None
+    at_cycle: Optional[float] = None
+    at_mark: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        triggers = [
+            t for t in (self.at_op, self.at_cycle, self.at_mark) if t is not None
+        ]
+        if len(triggers) != 1:
+            raise ConfigError("CrashPlan needs exactly one trigger")
+
+
+def run_with_crash(
+    machine: Machine,
+    threads: Iterable[ThreadGen],
+    plan: CrashPlan,
+) -> Tuple[RunResult, Machine]:
+    """Run until the crash point; return the result and the post-crash
+    machine (cold caches, NVMM image as architectural state).
+
+    If the workload finishes before the trigger fires, the run result's
+    ``crashed`` flag is False and the returned machine reflects a
+    graceful end (the caller decides whether to treat that as a test
+    failure or a no-crash control case).
+    """
+    result = machine.run(
+        threads,
+        crash_at_op=plan.at_op,
+        crash_at_cycle=plan.at_cycle,
+        crash_at_mark=plan.at_mark,
+    )
+    return result, machine.after_crash()

@@ -1,0 +1,83 @@
+"""Op vocabulary executed by workload coroutines.
+
+Workloads are Python generators that ``yield`` these ops; the machine
+executes each op on the issuing core and ``send``s back the result
+(the loaded value for :class:`Load`, ``None`` otherwise).  The set maps
+onto the paper's x86-64 + PMEM primitives:
+
+===========  ==========================================================
+Op           Meaning
+===========  ==========================================================
+Load         8-byte load
+Store        8-byte store
+Flush        ``clflushopt``: write the line to the persistence domain
+             and invalidate it everywhere; completion is asynchronous
+             and ordered only by a following Fence
+FlushWB      ``clwb``: write the line back but keep it cached
+Fence        ``sfence``: stall until the core's outstanding stores and
+             flushes are accepted by the persistence domain
+Compute      ``flops`` arithmetic operations (issue-width limited)
+RegionMark   zero-cost annotation used by tracing/tests and the crash
+             machinery to name persistency-region boundaries
+===========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Load:
+    addr: int
+
+
+@dataclass(frozen=True)
+class Store:
+    addr: int
+    value: float
+
+
+@dataclass(frozen=True)
+class Flush:
+    """clflushopt: persist + invalidate, asynchronous until a Fence."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class FlushWB:
+    """clwb: persist but retain the (now clean) line in the caches."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Fence:
+    """sfence: drain this core's store buffer and flush queue."""
+
+
+@dataclass(frozen=True)
+class Compute:
+    """``flops`` arithmetic ops; ``kind`` is informational."""
+
+    flops: float = 1.0
+    kind: str = "int"
+
+
+@dataclass(frozen=True)
+class RegionMark:
+    """Named, zero-cost marker (region begin/end) for traces and tests."""
+
+    label: str
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Thread barrier: every running thread must reach a Barrier before
+    any proceeds; all clocks synchronise to the latest arrival.  Used by
+    stage-structured kernels (Cholesky column blocks, FFT stages)."""
+
+
+Op = Union[Load, Store, Flush, FlushWB, Fence, Compute, RegionMark, Barrier]

@@ -1,0 +1,272 @@
+"""The machine: cores + hierarchy + MC, and the interleaving scheduler.
+
+Workload threads are generators yielding :mod:`repro.sim.isa` ops.  The
+scheduler always advances the runnable core with the smallest local
+clock, so multicore interleavings are timing-driven and deterministic.
+Execution time of a run is the slowest core's final clock.
+
+Crash injection stops the run after a chosen number of ops, cycles, or
+region marks; everything the MC accepted up to that point is durable
+(ADR) and everything else is lost.  :meth:`Machine.after_crash` builds
+the post-failure machine: cold caches, fresh clocks, and an
+architectural state equal to the NVMM image — exactly what recovery
+code observes on real hardware after power loss.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.address import Allocator, Region
+from repro.sim.coherence import Hierarchy
+from repro.sim.config import MachineConfig
+from repro.sim.core import Core
+from repro.sim.isa import Barrier, Op, RegionMark
+from repro.sim.nvmm import MemoryController
+from repro.sim.stats import MachineStats
+from repro.sim.valuestore import MemoryState
+
+ThreadGen = Generator[Op, Optional[float], None]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Machine.run` call."""
+
+    stats: MachineStats
+    crashed: bool
+    ops_executed: int
+    region_marks: int
+    finished_threads: int
+    total_threads: int
+
+    @property
+    def exec_cycles(self) -> float:
+        return self.stats.exec_cycles
+
+    @property
+    def nvmm_writes(self) -> int:
+        return self.stats.nvmm_writes
+
+    def summary(self) -> Dict[str, float]:
+        """Flat metric dict (stats summary + crash flag)."""
+        out = self.stats.summary()
+        out["crashed"] = float(self.crashed)
+        return out
+
+
+class Machine:
+    """A configured multicore NVMM machine."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        *,
+        _mem: Optional[MemoryState] = None,
+        _allocator: Optional[Allocator] = None,
+    ) -> None:
+        self.config = config
+        self.mem = _mem if _mem is not None else MemoryState()
+        self.allocator = (
+            _allocator
+            if _allocator is not None
+            else Allocator(config.memory_bytes)
+        )
+        self.stats = MachineStats().for_cores(config.num_cores)
+        self.mc = MemoryController(config.nvmm, self.mem, self.stats)
+        self.hierarchy = Hierarchy(config, self.mem, self.stats, self.mc)
+        self.cores = [
+            Core(i, config.core, self.hierarchy, self.mem, self.stats.per_core[i])
+            for i in range(config.num_cores)
+        ]
+        #: Optional periodic cleaner; see :mod:`repro.sim.cleaner`.
+        self.cleaner = None
+        #: Seeded tie-breaker for jittered scheduling (deterministic).
+        self._sched_rng = random.Random(config.schedule_seed)
+        #: Optional callback invoked on every RegionMark (tracing/tests).
+        self.on_mark: Optional[Callable[[RegionMark, int, float], None]] = None
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+
+    def alloc(self, name: str, num_elements: int) -> Region:
+        """Allocate a persistent region; contents start durably at 0.0."""
+        region = self.allocator.alloc(name, num_elements)
+        for addr in region.element_addrs():
+            self.mem.init(addr, 0.0)
+        return region
+
+    def alloc_init(self, name: str, values: Sequence[float]) -> Region:
+        """Allocate and durably initialise a region from ``values``."""
+        region = self.allocator.alloc(name, len(values))
+        for addr, value in zip(region.element_addrs(), values):
+            self.mem.init(addr, value)
+        return region
+
+    def scalar(self, name: str, value: float = 0.0) -> Region:
+        """Allocate a one-element region (markers, counters)."""
+        region = self.allocator.alloc(name, 1)
+        self.mem.init(region.base, value)
+        return region
+
+    def region(self, name: str) -> Region:
+        """Look up an allocated region by name."""
+        return self.allocator.region(name)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        threads: Iterable[ThreadGen],
+        *,
+        crash_at_op: Optional[int] = None,
+        crash_at_cycle: Optional[float] = None,
+        crash_at_mark: Optional[int] = None,
+        op_limit: Optional[int] = None,
+    ) -> RunResult:
+        """Drive thread generators to completion (or crash/limit).
+
+        Threads are assigned to cores in order; the paper's runs use
+        one master + N worker threads on N+1 cores, which callers model
+        by passing N+1 generators.
+        """
+        gens: List[ThreadGen] = list(threads)
+        if len(gens) > self.config.num_cores:
+            raise ConfigError(
+                f"{len(gens)} threads exceed {self.config.num_cores} cores"
+            )
+        if not gens:
+            raise ConfigError("no threads to run")
+
+        heap: List = []
+        jitter = self.config.schedule_jitter
+
+        def push(cid: int) -> None:
+            priority = self.cores[cid].clock
+            if jitter:
+                priority += self._sched_rng.uniform(0.0, jitter)
+            heapq.heappush(heap, (priority, cid))
+
+        for cid in range(len(gens)):
+            push(cid)
+
+        pending_result: Dict[int, Optional[float]] = {
+            cid: None for cid in range(len(gens))
+        }
+        ops_executed = 0
+        region_marks = 0
+        crashed = False
+        finished = 0
+        barrier_wait: List[int] = []
+
+        def barrier_ready() -> bool:
+            return barrier_wait and len(barrier_wait) == len(gens) - finished
+
+        def release_barrier() -> None:
+            release_time = max(self.cores[c].clock for c in barrier_wait)
+            for c in barrier_wait:
+                self.cores[c].clock = release_time
+                push(c)
+            barrier_wait.clear()
+
+        while heap:
+            _, cid = heapq.heappop(heap)
+            core = self.cores[cid]
+            gen = gens[cid]
+            try:
+                op = gen.send(pending_result[cid])
+            except StopIteration:
+                finished += 1
+                if barrier_ready():
+                    release_barrier()
+                continue
+
+            if crash_at_op is not None and ops_executed >= crash_at_op:
+                crashed = True
+                self.mc.discard_in_flight(core.clock)
+                break
+            if crash_at_cycle is not None and core.clock >= crash_at_cycle:
+                crashed = True
+                self.mc.discard_in_flight(core.clock)
+                break
+            if op_limit is not None and ops_executed >= op_limit:
+                break
+
+            if isinstance(op, Barrier):
+                # the core parks until every live thread arrives
+                pending_result[cid] = None
+                ops_executed += 1
+                core.stats.ops += 1
+                barrier_wait.append(cid)
+                if barrier_ready():
+                    release_barrier()
+                continue
+
+            pending_result[cid] = core.execute(op)
+            ops_executed += 1
+
+            if isinstance(op, RegionMark):
+                region_marks += 1
+                if self.on_mark is not None:
+                    self.on_mark(op, cid, core.clock)
+                if crash_at_mark is not None and region_marks >= crash_at_mark:
+                    crashed = True
+                    self.mc.discard_in_flight(core.clock)
+                    break
+
+            if self.cleaner is not None:
+                self.cleaner.maybe_clean(self.hierarchy, core.clock)
+
+            push(cid)
+
+        for cid in range(len(gens)):
+            self.stats.per_core[cid].cycles = self.cores[cid].clock
+
+        return RunResult(
+            stats=self.stats,
+            crashed=crashed,
+            ops_executed=ops_executed,
+            region_marks=region_marks,
+            finished_threads=finished,
+            total_threads=len(gens),
+        )
+
+    # ------------------------------------------------------------------
+    # persistence / crash
+    # ------------------------------------------------------------------
+
+    def drain(self) -> int:
+        """Write back every dirty line (graceful shutdown, not a crash)."""
+        now = max(c.clock for c in self.cores)
+        return self.hierarchy.clean_all(now, cause="drain")
+
+    def after_crash(self) -> "Machine":
+        """The machine as recovery code finds it after power loss."""
+        return Machine(
+            self.config,
+            _mem=self.mem.crashed_copy(),
+            _allocator=self.allocator,
+        )
+
+    # -- value introspection ------------------------------------------------
+
+    def arch_value(self, addr: int) -> float:
+        """Architectural (program-visible) value at ``addr``."""
+        return self.mem.load(addr)
+
+    def persistent_value(self, addr: int, default: Optional[float] = None) -> float:
+        """NVMM-image value at ``addr`` (post-crash view)."""
+        return self.mem.persisted(addr, default)
+
+    def read_region(self, region: Region, persistent: bool = False) -> List[float]:
+        """Bulk-read a region's values (validation helper, no timing)."""
+        if persistent:
+            return [self.mem.persisted(a, 0.0) for a in region.element_addrs()]
+        return [self.mem.load(a) for a in region.element_addrs()]

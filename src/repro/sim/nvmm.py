@@ -1,0 +1,165 @@
+"""NVMM device and memory controller.
+
+The memory controller owns a bounded write queue.  With **ADR** (the
+paper's platform, section II-A), that queue sits inside the
+persistence domain: the instant a line is accepted its data is
+durable, so that is where the simulator copies architectural values
+into the persistent image and counts an NVMM write.
+
+With ``adr=False`` the model reverts to the pre-ADR (pcommit-era)
+platform the paper contrasts against: a write is durable only when the
+NVMM device *completes* it.  Acceptance still copies data into the
+persistent image (the common case is no crash), but every write leaves
+an undo record until its completion time; a crash rolls back the
+records still in flight, and fences observe the completion time rather
+than the acceptance time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.address import element_addrs_of_line
+from repro.sim.config import NVMMConfig
+from repro.sim.stats import MachineStats
+from repro.sim.valuestore import MemoryState
+
+
+@dataclass
+class _UndoRecord:
+    """A non-ADR write that is not yet durable."""
+
+    completion: float
+    line_addr: int
+    prior_values: Dict[int, Optional[float]]
+
+
+class MemoryController:
+    """MC + NVMM device timing and persistence point."""
+
+    def __init__(
+        self,
+        config: NVMMConfig,
+        mem: MemoryState,
+        stats: MachineStats,
+    ) -> None:
+        self.config = config
+        self.mem = mem
+        self.stats = stats
+        #: Time the device write pipe frees up.
+        self._write_pipe_free = 0.0
+        #: Time the device read path frees up.
+        self._read_pipe_free = 0.0
+        #: Completion times of writes currently occupying queue slots.
+        self._write_queue: List[float] = []
+        #: Completion times of reads currently occupying queue slots.
+        self._read_queue: List[float] = []
+        #: Non-ADR only: rollback records for in-flight writes.
+        self._undo: List[_UndoRecord] = []
+
+    # -- reads --------------------------------------------------------------
+
+    def read(self, line_addr: int, now: float) -> float:
+        """Issue a line read at ``now``; returns the data-return time."""
+        self._read_queue = [t for t in self._read_queue if t > now]
+        start = now
+        if len(self._read_queue) >= self.config.read_queue_depth:
+            start = min(self._read_queue)
+        start = max(start, self._read_pipe_free)
+        self._read_pipe_free = start + self.config.read_service_cycles
+        completion = start + self.config.read_cycles
+        self._read_queue.append(completion)
+        self.stats.nvmm_reads += 1
+        return completion
+
+    # -- writes ---------------------------------------------------------------
+
+    def accept_write(
+        self,
+        line_addr: int,
+        now: float,
+        cause: str,
+        dirty_since: Optional[float] = None,
+    ) -> float:
+        """Accept a dirty line into the MC write queue.
+
+        Returns the *durable* time: acceptance under ADR, device
+        completion otherwise.  Backpressure (a full queue) delays
+        acceptance either way.  Use :meth:`accept_write_timed` when the
+        caller needs acceptance and durability separately.
+        """
+        accept, durable = self.accept_write_timed(
+            line_addr, now, cause, dirty_since
+        )
+        return durable
+
+    def accept_write_timed(
+        self,
+        line_addr: int,
+        now: float,
+        cause: str,
+        dirty_since: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Accept a write; returns ``(accept_time, durable_time)``."""
+        accept_time = max(now, self._queue_slot_free_time(now))
+        # The write occupies the device pipe for its service time; its
+        # queue slot frees when the device finishes the full write.
+        start = max(accept_time, self._write_pipe_free)
+        self._write_pipe_free = start + self.config.write_service_cycles
+        completion = start + self.config.write_cycles
+        self._write_queue.append(completion)
+
+        if not self.config.adr:
+            # pre-ADR: the data is not safe until the device finishes;
+            # remember how to undo it if a crash lands in between.
+            prior = {
+                addr: self.mem.persistent.get(addr)
+                for addr in element_addrs_of_line(line_addr)
+            }
+            self._undo.append(_UndoRecord(completion, line_addr, prior))
+
+        self.mem.persist_line(line_addr)
+        self.stats.count_write(cause, line_addr=line_addr)
+        durable_time = accept_time if self.config.adr else completion
+        if dirty_since is not None:
+            self.stats.record_volatility(durable_time - dirty_since)
+        return accept_time, durable_time
+
+    def _queue_slot_free_time(self, now: float) -> float:
+        """Earliest time a write-queue slot is free."""
+        self._write_queue = [t for t in self._write_queue if t > now]
+        if len(self._write_queue) < self.config.write_queue_depth:
+            return now
+        return min(self._write_queue)
+
+    # -- crash handling -------------------------------------------------------
+
+    def discard_in_flight(self, crash_time: float) -> int:
+        """Roll back writes not yet durable at ``crash_time``.
+
+        A no-op under ADR.  Returns the number of lines rolled back.
+        Records are undone newest-first so overlapping writes to the
+        same line restore the oldest surviving values.
+        """
+        if self.config.adr:
+            return 0
+        lost = [r for r in self._undo if r.completion > crash_time]
+        for record in sorted(lost, key=lambda r: r.completion, reverse=True):
+            for addr, value in record.prior_values.items():
+                if value is None:
+                    self.mem.persistent.pop(addr, None)
+                else:
+                    self.mem.persistent[addr] = value
+        self._undo = [r for r in self._undo if r.completion <= crash_time]
+        return len(lost)
+
+    def prune_undo(self, now: float) -> None:
+        """Drop undo records whose writes have completed (bookkeeping)."""
+        self._undo = [r for r in self._undo if r.completion > now]
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def write_queue_occupancy(self) -> int:
+        return len(self._write_queue)

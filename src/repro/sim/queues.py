@@ -1,0 +1,58 @@
+"""Bounded completion-time queues: MSHRs, store buffer, flush queue.
+
+Each structure tracks the completion times of in-flight asynchronous
+operations.  The core prunes entries that completed before its clock,
+counts a hazard event when an op finds the structure full, and stalls
+until the earliest completion.  This is the mechanism behind the
+Table VI structural-hazard reproduction: flushes and store misses park
+long-latency completions here, and everything behind them backs up.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BoundedQueue:
+    """Completion-time slots with a fixed capacity."""
+
+    def __init__(self, capacity: int, name: str) -> None:
+        self.capacity = capacity
+        self.name = name
+        self._completions: List[float] = []
+
+    def prune(self, now: float) -> None:
+        """Drop entries whose operation completed at or before ``now``."""
+        self._completions = [t for t in self._completions if t > now]
+
+    def full(self, now: float) -> bool:
+        """True if no slot is free at ``now``."""
+        self.prune(now)
+        return len(self._completions) >= self.capacity
+
+    def earliest_free(self, now: float) -> float:
+        """Time at which a slot opens; ``now`` if one is already free."""
+        self.prune(now)
+        if len(self._completions) < self.capacity:
+            return now
+        return min(self._completions)
+
+    def push(self, completion: float) -> None:
+        """Occupy a slot until ``completion``."""
+        self._completions.append(completion)
+
+    def drain_time(self, now: float) -> float:
+        """Completion time of the last in-flight entry (``now`` if empty)."""
+        self.prune(now)
+        if not self._completions:
+            return now
+        return max(self._completions)
+
+    def occupancy(self, now: float) -> int:
+        """In-flight entries at ``now``."""
+        self.prune(now)
+        return len(self._completions)
+
+    def clear(self) -> None:
+        """Drop all entries (crash/reset)."""
+        self._completions.clear()

@@ -1,0 +1,156 @@
+"""Statistics collected during a simulation run.
+
+Every number the paper reports is derived from these counters:
+
+* execution time            -> max over cores of ``core.cycles``
+* number of writes (Fig 10) -> ``nvmm_writes`` (L2 writebacks + flushes
+                               + cleaner writebacks accepted at the MC)
+* Table VI hazards          -> ``mshr_full_events`` / ``fu_int_events`` /
+                               ``fu_read_events`` / ``fu_write_events``
+* L2 miss rate              -> ``l2_misses / l2_accesses``
+* maxvdur (section VI)      -> ``max_volatility_cycles``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CoreStats:
+    """Per-core counters."""
+
+    cycles: float = 0.0
+    ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    computes: int = 0
+    flushes: int = 0
+    fences: int = 0
+    fence_stall_cycles: float = 0.0
+    mshr_full_events: int = 0
+    fu_int_events: int = 0
+    fu_read_events: int = 0
+    fu_write_events: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+
+
+@dataclass
+class MachineStats:
+    """Whole-machine counters plus per-core breakdowns."""
+
+    per_core: List[CoreStats] = field(default_factory=list)
+
+    l2_accesses: int = 0
+    l2_misses: int = 0
+
+    #: Lines accepted into the MC write queue (the persistence domain):
+    #: the paper's "number of writes".
+    nvmm_writes: int = 0
+    #: Breakdown of nvmm_writes by cause.
+    writes_by_cause: Dict[str, int] = field(default_factory=dict)
+    nvmm_reads: int = 0
+
+    #: Volatility duration: cycles between a line becoming dirty in the
+    #: hierarchy and its data reaching the persistence domain.
+    max_volatility_cycles: float = 0.0
+    total_volatility_cycles: float = 0.0
+    volatility_samples: int = 0
+
+    #: NVMM wear: writes per line address.  The paper motivates LP with
+    #: NVM's limited write endurance; eager flushing concentrates and
+    #: multiplies writes, which shows up here as a higher per-line
+    #: maximum (the cell that wears out first).
+    writes_per_line: Dict[int, int] = field(default_factory=dict)
+
+    def for_cores(self, num_cores: int) -> "MachineStats":
+        """Initialise per-core counters; returns self."""
+        self.per_core = [CoreStats() for _ in range(num_cores)]
+        return self
+
+    # -- derived metrics -------------------------------------------------
+
+    @property
+    def exec_cycles(self) -> float:
+        """Parallel execution time: the slowest core's clock."""
+        if not self.per_core:
+            return 0.0
+        return max(c.cycles for c in self.per_core)
+
+    @property
+    def l2_miss_rate(self) -> float:
+        if self.l2_accesses == 0:
+            return 0.0
+        return self.l2_misses / self.l2_accesses
+
+    @property
+    def total_ops(self) -> int:
+        return sum(c.ops for c in self.per_core)
+
+    @property
+    def mean_volatility_cycles(self) -> float:
+        if self.volatility_samples == 0:
+            return 0.0
+        return self.total_volatility_cycles / self.volatility_samples
+
+    def hazard_totals(self) -> Dict[str, int]:
+        """Summed Table VI hazard counters across cores."""
+        return {
+            "mshr": sum(c.mshr_full_events for c in self.per_core),
+            "fui": sum(c.fu_int_events for c in self.per_core),
+            "fur": sum(c.fu_read_events for c in self.per_core),
+            "fuw": sum(c.fu_write_events for c in self.per_core),
+        }
+
+    def count_write(self, cause: str, line_addr: Optional[int] = None) -> None:
+        """Record one NVMM write, by cause and (optionally) line."""
+        self.nvmm_writes += 1
+        self.writes_by_cause[cause] = self.writes_by_cause.get(cause, 0) + 1
+        if line_addr is not None:
+            self.writes_per_line[line_addr] = (
+                self.writes_per_line.get(line_addr, 0) + 1
+            )
+
+    # -- wear metrics ------------------------------------------------------
+
+    @property
+    def max_line_writes(self) -> int:
+        """Writes to the most-written line (the endurance-limiting cell)."""
+        if not self.writes_per_line:
+            return 0
+        return max(self.writes_per_line.values())
+
+    def wear_percentile(self, pct: float) -> int:
+        """Per-line write count at the given percentile (0-100)."""
+        if not self.writes_per_line:
+            return 0
+        counts = sorted(self.writes_per_line.values())
+        index = min(len(counts) - 1, int(len(counts) * pct / 100.0))
+        return counts[index]
+
+    def record_volatility(self, cycles: float) -> None:
+        """Record one volatility-duration sample."""
+        if cycles < 0:
+            cycles = 0.0
+        self.volatility_samples += 1
+        self.total_volatility_cycles += cycles
+        if cycles > self.max_volatility_cycles:
+            self.max_volatility_cycles = cycles
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline metrics, for reporting."""
+        hz = self.hazard_totals()
+        return {
+            "exec_cycles": self.exec_cycles,
+            "nvmm_writes": float(self.nvmm_writes),
+            "nvmm_reads": float(self.nvmm_reads),
+            "l2_miss_rate": self.l2_miss_rate,
+            "max_volatility_cycles": self.max_volatility_cycles,
+            "mshr_full": float(hz["mshr"]),
+            "fui": float(hz["fui"]),
+            "fur": float(hz["fur"]),
+            "fuw": float(hz["fuw"]),
+            "total_ops": float(self.total_ops),
+        }

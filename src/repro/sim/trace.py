@@ -1,0 +1,45 @@
+"""Lightweight op tracing for debugging and white-box tests.
+
+Wrap a thread generator with :func:`traced` to record every op it
+yields (and the machine's reply) into a :class:`Trace`.  Tracing is
+opt-in and adds no cost to untraced runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.sim.isa import Op
+
+
+@dataclass
+class Trace:
+    """Recorded (op, result) pairs for one thread."""
+
+    events: List[Tuple[Op, Optional[float]]] = field(default_factory=list)
+
+    def ops(self) -> List[Op]:
+        """The recorded ops, without results."""
+        return [op for op, _ in self.events]
+
+    def count(self, op_type: type) -> int:
+        """Number of recorded ops of the given type."""
+        return sum(1 for op, _ in self.events if isinstance(op, op_type))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def traced(
+    gen: Generator[Op, Optional[float], None], trace: Trace
+) -> Generator[Op, Optional[float], None]:
+    """Pass ops through while recording them into ``trace``."""
+    result: Optional[float] = None
+    while True:
+        try:
+            op = gen.send(result)
+        except StopIteration:
+            return
+        result = yield op
+        trace.events.append((op, result))

@@ -1,0 +1,99 @@
+"""Architectural vs. persistent value state.
+
+The simulator tracks data at element (8-byte) granularity in two maps:
+
+* the **architectural** view — what a load returns during execution;
+  updated immediately by every store.  On real hardware this is the
+  union of caches and memory; it is volatile.
+* the **persistent** image — what the NVMM holds.  Updated only when a
+  line's data is accepted into the memory controller's ADR-protected
+  write queue (natural eviction, clflushopt/clwb, or the periodic
+  cleaner).
+
+A crash discards the architectural view; the post-crash machine is
+rebuilt with ``arch = copy(persistent)``, which is exactly the paper's
+failure model: store values that never left the cache hierarchy are
+lost, everything accepted by the MC survives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import AddressError
+from repro.sim.address import element_addrs_of_line, is_element_aligned
+
+Value = float  # elements are numbers; ints are preserved exactly too
+
+
+class MemoryState:
+    """Paired architectural / persistent value maps."""
+
+    def __init__(self) -> None:
+        self.arch: Dict[int, Value] = {}
+        self.persistent: Dict[int, Value] = {}
+
+    # -- program-visible accesses ----------------------------------------
+
+    def load(self, addr: int) -> Value:
+        """Architectural load (what the program sees)."""
+        self._check(addr)
+        try:
+            return self.arch[addr]
+        except KeyError:
+            raise AddressError(f"load from unwritten address {addr:#x}") from None
+
+    def store(self, addr: int, value: Value) -> None:
+        """Architectural store (volatile until a line writeback)."""
+        self._check(addr)
+        self.arch[addr] = value
+
+    # -- initialisation ---------------------------------------------------
+
+    def init(self, addr: int, value: Value) -> None:
+        """Initialise an address durably (pre-existing NVMM contents).
+
+        Array allocation and input data are treated as already durable,
+        like data loaded into a persistent heap before the kernel runs.
+        """
+        self._check(addr)
+        self.arch[addr] = value
+        self.persistent[addr] = value
+
+    # -- persistence ------------------------------------------------------
+
+    def persist_line(self, line_addr: int) -> None:
+        """Copy a line's current architectural data into the NVMM image."""
+        for addr in element_addrs_of_line(line_addr):
+            if addr in self.arch:
+                self.persistent[addr] = self.arch[addr]
+
+    def persisted(self, addr: int, default: Optional[Value] = None) -> Value:
+        """The NVMM-image value, or ``default`` if provided."""
+        self._check(addr)
+        if addr in self.persistent:
+            return self.persistent[addr]
+        if default is not None:
+            return default
+        raise AddressError(f"address {addr:#x} has no persistent value")
+
+    def is_divergent(self, addr: int) -> bool:
+        """True if the architectural value has not been persisted."""
+        self._check(addr)
+        return self.arch.get(addr) != self.persistent.get(addr)
+
+    # -- crash ------------------------------------------------------------
+
+    def crashed_copy(self) -> "MemoryState":
+        """State as seen after power loss: only the NVMM image survives."""
+        fresh = MemoryState()
+        fresh.persistent = dict(self.persistent)
+        fresh.arch = dict(self.persistent)
+        return fresh
+
+    @staticmethod
+    def _check(addr: int) -> None:
+        if not is_element_aligned(addr):
+            raise AddressError(f"address {addr:#x} is not 8-byte aligned")
+        if addr <= 0:
+            raise AddressError(f"invalid address {addr:#x}")

@@ -1,0 +1,17 @@
+"""The paper's evaluation kernels (Table V), built on the simulator.
+
+Each workload implements the variants of Table IV it is evaluated
+with — ``base`` (no failure safety), ``lp`` (Lazy Persistency), ``ep``
+(EagerRecompute) and, for TMM, ``wal`` (durable transactions with
+write-ahead logging) — plus crash recovery and output verification.
+"""
+
+from repro.workloads.base import BoundWorkload, Workload
+from repro.workloads.registry import available_workloads, get_workload
+
+__all__ = [
+    "BoundWorkload",
+    "Workload",
+    "available_workloads",
+    "get_workload",
+]

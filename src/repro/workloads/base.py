@@ -1,0 +1,119 @@
+"""Workload protocol.
+
+A :class:`Workload` holds problem parameters (matrix size, tile size).
+``bind(machine, ...)`` allocates its persistent data on a machine and
+returns a :class:`BoundWorkload`, which produces the thread generators
+for a chosen variant, the recovery threads to run after a crash, and
+verification against a numpy reference.
+
+Rebinding (``create=False``) attaches to regions that already exist —
+that is how recovery code addresses the same arrays on the post-crash
+machine.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.machine import Machine, ThreadGen
+
+#: Variants of Table IV.
+VARIANT_BASE = "base"
+VARIANT_LP = "lp"
+VARIANT_EP = "ep"
+VARIANT_WAL = "wal"
+
+
+def integer_matrix(rng: random.Random, rows: int, cols: int, span: int = 4):
+    """A matrix of small integer-valued floats.
+
+    Integer inputs keep every kernel's arithmetic exact in float64, so
+    tiled/blocked summation orders agree bit-for-bit with the numpy
+    reference and recovery verification can demand exact equality.
+    """
+    return np.array(
+        [[float(rng.randint(-span, span)) for _ in range(cols)] for _ in range(rows)],
+        dtype=np.float64,
+    )
+
+
+class BoundWorkload(ABC):
+    """A workload instance bound to one machine's regions."""
+
+    def __init__(self, machine: Machine, num_threads: int, engine: str) -> None:
+        if num_threads < 1:
+            raise WorkloadError("need at least one thread")
+        self.machine = machine
+        self.num_threads = num_threads
+        self.engine_name = engine
+
+    # -- execution -------------------------------------------------------------
+
+    @abstractmethod
+    def threads(self, variant: str) -> List[ThreadGen]:
+        """Thread generators for one Table IV variant."""
+
+    @abstractmethod
+    def recovery_threads(self) -> List[ThreadGen]:
+        """Recovery + resumed execution, run on the post-crash machine.
+
+        Must be called on a bound instance attached (rebound) to the
+        post-crash machine.  Recovery uses Eager Persistency so a crash
+        during recovery cannot lose progress (section III-E).
+        """
+
+    # -- verification -----------------------------------------------------------
+
+    @abstractmethod
+    def reference(self) -> np.ndarray:
+        """Expected output, computed with numpy from the same inputs."""
+
+    @abstractmethod
+    def output(self, persistent: bool = False) -> np.ndarray:
+        """The kernel's output as currently held by the machine."""
+
+    def verify(self, persistent: bool = False, atol: float = 0.0) -> bool:
+        """Compare output to reference (exact by default)."""
+        got = self.output(persistent=persistent)
+        want = self.reference()
+        if atol == 0.0:
+            return bool(np.array_equal(got, want))
+        return bool(np.allclose(got, want, atol=atol, rtol=0.0))
+
+    def verification_error(self, persistent: bool = False) -> float:
+        """Max absolute output-vs-reference error."""
+        got = self.output(persistent=persistent)
+        want = self.reference()
+        return float(np.max(np.abs(got - want))) if got.size else 0.0
+
+
+class Workload(ABC):
+    """Problem-parameterised workload factory."""
+
+    #: Registry name (e.g. "tmm").
+    name: str = "abstract"
+    #: Variants this workload implements.
+    variants: Tuple[str, ...] = (VARIANT_BASE, VARIANT_LP, VARIANT_EP)
+
+    @abstractmethod
+    def bind(
+        self,
+        machine: Machine,
+        num_threads: int = 1,
+        engine: str = "modular",
+        create: bool = True,
+    ) -> BoundWorkload:
+        """Allocate (or re-attach to) this workload's data on a machine."""
+
+    def check_variant(self, variant: str) -> None:
+        """Raise WorkloadError for variants this workload lacks."""
+        if variant not in self.variants:
+            raise WorkloadError(
+                f"workload {self.name!r} has no variant {variant!r}; "
+                f"available: {self.variants}"
+            )

@@ -1,0 +1,234 @@
+"""2-D convolution (Table V: "1k-square input matrix 2D convolution").
+
+Out-of-place convolution of an image with a small stencil.  LP regions
+are row blocks of the output, keyed (row_block, thread); because the
+kernel never overwrites its input, every region is **idempotent**
+(section III-E's trivial-recovery special case): recovery simply
+recomputes each region whose checksum does not match, in any order,
+with no restart frontier.
+
+Work partition: thread t owns row blocks with ``block % P == t``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.isa import Compute, Fence, Flush, Load, Op, RegionMark, Store
+from repro.sim.machine import Machine, ThreadGen
+from repro.core.eager import persist_addrs, persist_region
+from repro.core.lazy import LPRuntime
+from repro.core.region import RegionChecksum
+from repro.workloads.arrays import PMatrix
+from repro.workloads.base import (
+    BoundWorkload,
+    VARIANT_BASE,
+    VARIANT_EP,
+    VARIANT_LP,
+    Workload,
+    integer_matrix,
+)
+from repro.workloads.registry import register
+
+
+@register
+class Conv2D(Workload):
+    """out = image (*) kernel, valid region, out-of-place."""
+
+    name = "conv2d"
+    variants = (VARIANT_BASE, VARIANT_LP, VARIANT_EP)
+
+    def __init__(
+        self,
+        n: int = 64,
+        ksize: int = 3,
+        row_block: int = 4,
+        seed: int = 11,
+    ) -> None:
+        if ksize % 2 != 1 or ksize < 1:
+            raise WorkloadError("kernel size must be odd and positive")
+        self.out_n = n - ksize + 1
+        if self.out_n <= 0:
+            raise WorkloadError(f"image {n} too small for kernel {ksize}")
+        if self.out_n % row_block != 0:
+            raise WorkloadError(
+                f"output rows {self.out_n} not divisible by row_block {row_block}"
+            )
+        self.n = n
+        self.ksize = ksize
+        self.row_block = row_block
+        self.seed = seed
+        self.num_blocks = self.out_n // row_block
+
+    def bind(
+        self,
+        machine: Machine,
+        num_threads: int = 1,
+        engine: str = "modular",
+        create: bool = True,
+    ) -> "BoundConv2D":
+        return BoundConv2D(self, machine, num_threads, engine, create)
+
+
+class BoundConv2D(BoundWorkload):
+    def __init__(self, spec, machine, num_threads, engine, create):
+        super().__init__(machine, num_threads, engine)
+        self.spec = spec
+        n, k = spec.n, spec.ksize
+        self.image = PMatrix(machine, "conv.image", n, n, create=create)
+        self.kernel = PMatrix(machine, "conv.kernel", k, k, create=create)
+        self.out = PMatrix(
+            machine, "conv.out", spec.out_n, spec.out_n, create=create
+        )
+        self.lp = LPRuntime(
+            machine,
+            "conv.cktab",
+            dims=(spec.num_blocks, num_threads),
+            engine=engine,
+            create=create,
+        )
+        self.markers = [
+            machine.scalar(f"conv.progress.{t}", -1.0)
+            if create
+            else machine.region(f"conv.progress.{t}")
+            for t in range(num_threads)
+        ]
+        if create:
+            rng = random.Random(spec.seed)
+            self.image.fill(integer_matrix(rng, n, n))
+            self.kernel.fill(integer_matrix(rng, k, k, span=2))
+
+    def my_blocks(self, tid: int) -> List[int]:
+        """Output row blocks owned by thread ``tid``."""
+        return [
+            b for b in range(self.spec.num_blocks) if b % self.num_threads == tid
+        ]
+
+    def owner_of(self, block: int) -> int:
+        """Owning thread of a row block."""
+        return block % self.num_threads
+
+    # ------------------------------------------------------------------
+    # normal execution
+    # ------------------------------------------------------------------
+
+    def threads(self, variant: str) -> List[ThreadGen]:
+        self.spec.check_variant(variant)
+        return [self._worker(variant, tid) for tid in range(self.num_threads)]
+
+    def _worker(self, variant: str, tid: int) -> ThreadGen:
+        for block in self.my_blocks(tid):
+            yield RegionMark(f"conv:{variant}:block{block}")
+            yield from self._region(variant, tid, block)
+
+    def _region(
+        self, variant: str, tid: int, block: int
+    ) -> Generator[Op, Optional[float], None]:
+        spec = self.spec
+        r0 = block * spec.row_block
+        ck: Optional[RegionChecksum] = None
+        if variant == VARIANT_LP:
+            ck = self.lp.begin_region()
+
+        for i in range(r0, r0 + spec.row_block):
+            for j in range(spec.out_n):
+                s = yield from self._pixel(i, j)
+                yield from self.out.write(i, j, s)
+                if ck is not None:
+                    yield from ck.update(s)
+            if variant == VARIANT_EP:
+                yield from persist_addrs(self.out.row_addrs(i, 0, spec.out_n))
+                yield Fence()
+                marker = self.markers[tid]
+                yield Store(marker.base, float(i))
+                yield Flush(marker.base)
+                yield Fence()
+
+        if variant == VARIANT_LP:
+            assert ck is not None
+            yield from self.lp.commit(ck, block, tid)
+
+    def _pixel(self, i: int, j: int) -> Generator[Op, Optional[float], float]:
+        spec = self.spec
+        s = 0.0
+        for di in range(spec.ksize):
+            for dj in range(spec.ksize):
+                iv = yield from self.image.read(i + di, j + dj)
+                kv = yield from self.kernel.read(di, dj)
+                s += iv * kv
+        yield Compute(2 * spec.ksize * spec.ksize)
+        return s
+
+    # ------------------------------------------------------------------
+    # recovery: idempotent regions, no frontier
+    # ------------------------------------------------------------------
+
+    def recovery_threads(self) -> List[ThreadGen]:
+        return [self._recover(tid) for tid in range(self.num_threads)]
+
+    def _recover(self, tid: int) -> ThreadGen:
+        for block in self.my_blocks(tid):
+            matches = yield from self._block_matches(block)
+            if matches:
+                continue
+            yield RegionMark(f"conv:recover:block{block}")
+            yield from self._repair_block(tid, block)
+
+    def _block_matches(self, block: int) -> Generator[Op, Optional[float], bool]:
+        tid = self.owner_of(block)
+        if not self.lp.region_committed(block, tid):
+            return False
+        spec = self.spec
+        ck = RegionChecksum(self.lp.engine)
+        r0 = block * spec.row_block
+        for i in range(r0, r0 + spec.row_block):
+            for j in range(spec.out_n):
+                v = yield from self.out.read(i, j)
+                ck.update_silent(v)
+                yield Compute(self.lp.engine.flops_per_update)
+        stored = yield Load(self.lp.table.slot_addr(block, tid))
+        return float(ck.value) == stored
+
+    def _repair_block(
+        self, tid: int, block: int
+    ) -> Generator[Op, Optional[float], None]:
+        """Idempotent repair: re-run the region with Eager Persistency."""
+        spec = self.spec
+        r0 = block * spec.row_block
+        ck = RegionChecksum(self.lp.engine)
+        addrs: List[int] = []
+        for i in range(r0, r0 + spec.row_block):
+            for j in range(spec.out_n):
+                s = yield from self._pixel(i, j)
+                yield from self.out.write(i, j, s)
+                ck.update_silent(s)
+                yield Compute(self.lp.engine.flops_per_update)
+                addrs.append(self.out.addr(i, j))
+        yield from persist_region(addrs)
+        yield from self.lp.table.commit_eager(ck.value, block, tid)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def reference(self) -> np.ndarray:
+        img = self.image.to_numpy()
+        ker = self.kernel.to_numpy()
+        spec = self.spec
+        out = np.zeros((spec.out_n, spec.out_n))
+        # same accumulation order as the kernel: di outer, dj inner
+        for i in range(spec.out_n):
+            for j in range(spec.out_n):
+                s = 0.0
+                for di in range(spec.ksize):
+                    for dj in range(spec.ksize):
+                        s += img[i + di, j + dj] * ker[di, dj]
+                out[i, j] = s
+        return out
+
+    def output(self, persistent: bool = False) -> np.ndarray:
+        return self.out.to_numpy(persistent=persistent)

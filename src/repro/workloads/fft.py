@@ -1,0 +1,302 @@
+"""Fast Fourier Transform (Table V: "100k nodes vector FFT").
+
+Radix-2 **Stockham autosort** FFT over a complex vector, double-
+buffered: stage ``s`` reads buffer ``s % 2`` and writes buffer
+``(s+1) % 2``, so no in-place bit-reversal is needed and every stage's
+output is a complete, freshly written buffer — ideal LP-region
+structure.  Values are stored interleaved (re at ``2i``, im at
+``2i+1``).
+
+* LP region: (stage, thread) — each thread checksums every value it
+  writes during a stage; a Barrier separates stages.
+* Recovery: scan stages from last to first for the highest stage whose
+  regions **all** match (that buffer then holds exactly that stage's
+  output); resume after it.  If no stage survives — the ping-pong
+  means a partially-run stage ``s+2`` may have corrupted stage ``s``'s
+  buffer — restore buffer 0 from the pristine input and replay from
+  stage 0.  Either way recovery is sound under repeated crashes.
+"""
+
+from __future__ import annotations
+
+import cmath
+import random
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.isa import Barrier, Compute, Fence, Flush, Load, Op, RegionMark, Store
+from repro.sim.machine import Machine, ThreadGen
+from repro.core.eager import persist_region, writeback_addrs
+from repro.core.lazy import LPRuntime
+from repro.core.region import RegionChecksum
+from repro.workloads.arrays import PArray
+from repro.workloads.base import (
+    BoundWorkload,
+    VARIANT_BASE,
+    VARIANT_EP,
+    VARIANT_LP,
+    Workload,
+)
+from repro.workloads.registry import register
+
+
+@register
+class FFT(Workload):
+    """X = FFT(x) by radix-2 Stockham, double-buffered."""
+
+    name = "fft"
+    variants = (VARIANT_BASE, VARIANT_LP, VARIANT_EP)
+
+    def __init__(self, n: int = 256, seed: int = 23) -> None:
+        if n < 2 or n & (n - 1):
+            raise WorkloadError(f"FFT size {n} must be a power of two >= 2")
+        self.n = n
+        self.stages = n.bit_length() - 1
+        self.seed = seed
+
+    def bind(
+        self,
+        machine: Machine,
+        num_threads: int = 1,
+        engine: str = "modular",
+        create: bool = True,
+    ) -> "BoundFFT":
+        return BoundFFT(self, machine, num_threads, engine, create)
+
+
+class BoundFFT(BoundWorkload):
+    def __init__(self, spec, machine, num_threads, engine, create):
+        super().__init__(machine, num_threads, engine)
+        self.spec = spec
+        n = spec.n
+        self.pristine = PArray(machine, "fft.p", 2 * n, create=create)
+        self.bufs = [
+            PArray(machine, "fft.buf0", 2 * n, create=create),
+            PArray(machine, "fft.buf1", 2 * n, create=create),
+        ]
+        self.lp = LPRuntime(
+            machine,
+            "fft.cktab",
+            dims=(spec.stages, num_threads),
+            engine=engine,
+            create=create,
+        )
+        self.markers = [
+            machine.scalar(f"fft.progress.{t}", -1.0)
+            if create
+            else machine.region(f"fft.progress.{t}")
+            for t in range(num_threads)
+        ]
+        if create:
+            rng = random.Random(spec.seed)
+            data = [float(rng.randint(-8, 8)) for _ in range(2 * n)]
+            self.pristine.fill(data)
+            self.bufs[0].fill(data)
+
+    # ------------------------------------------------------------------
+    # stage geometry
+    # ------------------------------------------------------------------
+
+    def stage_params(self, stage: int) -> Tuple[int, int]:
+        """(l, m) for a stage: l butterfly groups of span m."""
+        l = 1 << stage
+        m = self.spec.n >> (stage + 1)
+        return l, m
+
+    def my_butterflies(self, tid: int, stage: int) -> range:
+        """Contiguous chunk of the n/2 butterfly indices owned by tid."""
+        total = self.spec.n // 2
+        per = total // self.num_threads
+        extra = total % self.num_threads
+        lo = tid * per + min(tid, extra)
+        hi = lo + per + (1 if tid < extra else 0)
+        return range(lo, hi)
+
+    # ------------------------------------------------------------------
+    # complex element access
+    # ------------------------------------------------------------------
+
+    def _read_c(
+        self, buf: PArray, idx: int
+    ) -> Generator[Op, Optional[float], complex]:
+        re = yield from buf.read(2 * idx)
+        im = yield from buf.read(2 * idx + 1)
+        return complex(re, im)
+
+    def _write_c(
+        self, buf: PArray, idx: int, value: complex
+    ) -> Generator[Op, Optional[float], None]:
+        yield from buf.write(2 * idx, value.real)
+        yield from buf.write(2 * idx + 1, value.imag)
+
+    # ------------------------------------------------------------------
+    # normal execution
+    # ------------------------------------------------------------------
+
+    def threads(self, variant: str) -> List[ThreadGen]:
+        self.spec.check_variant(variant)
+        return [
+            self._worker(variant, tid, start_stage=0)
+            for tid in range(self.num_threads)
+        ]
+
+    def _worker(self, variant: str, tid: int, start_stage: int) -> ThreadGen:
+        for stage in range(start_stage, self.spec.stages):
+            yield RegionMark(f"fft:{variant}:s{stage}:t{tid}")
+            yield from self._stage(variant, tid, stage)
+            yield Barrier()
+
+    def _stage(
+        self, variant: str, tid: int, stage: int
+    ) -> Generator[Op, Optional[float], None]:
+        src = self.bufs[stage % 2]
+        dst = self.bufs[(stage + 1) % 2]
+        l, m = self.stage_params(stage)
+        ck: Optional[RegionChecksum] = None
+        if variant == VARIANT_LP:
+            ck = self.lp.begin_region()
+        written: List[int] = []
+        in_tile = 0
+
+        for t in self.my_butterflies(tid, stage):
+            p, q = t // m, t % m
+            a = yield from self._read_c(src, q + m * (2 * p))
+            b = yield from self._read_c(src, q + m * (2 * p + 1))
+            w = cmath.exp(-2j * cmath.pi * p / (2 * l))
+            top = a + w * b
+            bot = a - w * b
+            yield Compute(10)  # twiddle multiply + two complex adds
+            yield from self._write_c(dst, q + m * p, top)
+            yield from self._write_c(dst, q + m * (p + l), bot)
+            if ck is not None:
+                for v in (top.real, top.imag, bot.real, bot.imag):
+                    yield from ck.update(v)
+            if variant == VARIANT_EP:
+                written.extend(
+                    (
+                        dst.addr(2 * (q + m * p)),
+                        dst.addr(2 * (q + m * p) + 1),
+                        dst.addr(2 * (q + m * (p + l))),
+                        dst.addr(2 * (q + m * (p + l)) + 1),
+                    )
+                )
+                in_tile += 1
+                if in_tile >= self.EP_TILE:
+                    # EagerRecompute: one transaction per tile — flush
+                    # the tile's output, fence, bump the marker durably
+                    yield from self._ep_tile_commit(tid, stage, written)
+                    written = []
+                    in_tile = 0
+
+        if variant == VARIANT_LP:
+            assert ck is not None
+            yield from self.lp.commit(ck, stage, tid)
+        elif variant == VARIANT_EP and written:
+            yield from self._ep_tile_commit(tid, stage, written)
+
+    #: butterflies per EagerRecompute transaction tile
+    EP_TILE = 16
+
+    def _ep_tile_commit(
+        self, tid: int, stage: int, written: List[int]
+    ) -> Generator[Op, Optional[float], None]:
+        # clwb, not clflushopt: this stage's output is the next stage's
+        # input (see core.eager.writeback_addrs)
+        yield from writeback_addrs(written)
+        yield Fence()
+        marker = self.markers[tid]
+        yield Store(marker.base, float(stage))
+        yield Flush(marker.base)
+        yield Fence()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def recovery_threads(self) -> List[ThreadGen]:
+        return [self._recover(tid) for tid in range(self.num_threads)]
+
+    def _recover(self, tid: int) -> ThreadGen:
+        yield RegionMark(f"fft:recover:t{tid}")
+        # highest stage whose output buffer is fully consistent
+        survivor: Optional[int] = None
+        for stage in reversed(range(self.spec.stages)):
+            all_match = True
+            for t in range(self.num_threads):
+                matches = yield from self._region_matches(stage, t)
+                if not matches:
+                    all_match = False
+                    break
+            if all_match:
+                survivor = stage
+                break
+
+        if survivor is None and tid == 0:
+            # restore buffer 0 from the pristine input, eagerly
+            for i in range(2 * self.spec.n):
+                v = yield from self.pristine.read(i)
+                yield from self.bufs[0].write(i, v)
+            yield from persist_region(list(self.bufs[0].region.element_addrs()))
+        yield Barrier()
+
+        resume_from = 0 if survivor is None else survivor + 1
+        yield from self._worker(VARIANT_LP, tid, start_stage=resume_from)
+
+    def _region_matches(
+        self, stage: int, tid: int
+    ) -> Generator[Op, Optional[float], bool]:
+        if not self.lp.region_committed(stage, tid):
+            return False
+        dst = self.bufs[(stage + 1) % 2]
+        l, m = self.stage_params(stage)
+        ck = RegionChecksum(self.lp.engine)
+        for t in self.my_butterflies(tid, stage):
+            p, q = t // m, t % m
+            top = yield from self._read_c(dst, q + m * p)
+            bot = yield from self._read_c(dst, q + m * (p + l))
+            for v in (top.real, top.imag, bot.real, bot.imag):
+                ck.update_silent(v)
+            yield Compute(4 * self.lp.engine.flops_per_update)
+        stored = yield Load(self.lp.table.slot_addr(stage, tid))
+        return float(ck.value) == stored
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def _replay(self) -> List[complex]:
+        """Bit-exact reference: same arithmetic, same order, in Python."""
+        n = self.spec.n
+        flat = self.pristine.to_numpy()
+        src = [complex(flat[2 * i], flat[2 * i + 1]) for i in range(n)]
+        dst = [0j] * n
+        for stage in range(self.spec.stages):
+            l, m = self.stage_params(stage)
+            for t in range(n // 2):
+                p, q = t // m, t % m
+                a = src[q + m * (2 * p)]
+                b = src[q + m * (2 * p + 1)]
+                w = cmath.exp(-2j * cmath.pi * p / (2 * l))
+                dst[q + m * p] = a + w * b
+                dst[q + m * (p + l)] = a - w * b
+            src, dst = dst, src
+        return src
+
+    def reference(self) -> np.ndarray:
+        out = self._replay()
+        flat = np.empty(2 * self.spec.n)
+        for i, c in enumerate(out):
+            flat[2 * i] = c.real
+            flat[2 * i + 1] = c.imag
+        return flat
+
+    def output(self, persistent: bool = False) -> np.ndarray:
+        final = self.bufs[self.spec.stages % 2]
+        return final.to_numpy(persistent=persistent)
+
+    def output_complex(self, persistent: bool = False) -> np.ndarray:
+        """The transform as a complex numpy vector."""
+        flat = self.output(persistent=persistent)
+        return flat[0::2] + 1j * flat[1::2]

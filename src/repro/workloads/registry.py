@@ -1,0 +1,44 @@
+"""Name -> workload registry (Table V)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+_REGISTRY: Dict[str, Type[Workload]] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the registry."""
+    if cls.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_workload(name: str) -> Type[Workload]:
+    """Workload class registered under ``name``."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from None
+
+
+def available_workloads() -> List[str]:
+    """Sorted names of the registered workloads."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    """Import workload modules so their @register decorators run."""
+    import repro.workloads.tmm  # noqa: F401
+    import repro.workloads.cholesky  # noqa: F401
+    import repro.workloads.conv2d  # noqa: F401
+    import repro.workloads.gauss  # noqa: F401
+    import repro.workloads.fft  # noqa: F401

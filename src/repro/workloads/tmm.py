@@ -1,0 +1,573 @@
+"""Tiled matrix multiplication (paper sections II-B, IV; Figures 3, 4, 8, 9).
+
+The 6-loop tiling of Figure 4 with the paper's variant set (Table IV):
+
+* ``base`` — no failure safety;
+* ``lp``   — Lazy Persistency (Figure 8): one checksum per LP region,
+  committed lazily;
+* ``ep``   — EagerRecompute: persist each tile-row stride with
+  clflushopt as computation goes, fence + durable progress marker per
+  tile ("a transaction covers a single tile");
+* ``wal``  — one durable write-ahead-logged transaction per region
+  (Figure 2's sequence via :class:`repro.core.wal.WriteAheadLog`).
+
+Beyond the defaults, this module implements the paper's secondary
+design space:
+
+* **Region granularity** (section III-C / IV): ``granularity`` may be
+  ``"jj"`` (one region per (kk, ii, jj) tile — smallest, most checksum
+  commits), ``"ii"`` (the paper's choice: one region per (kk, ii)
+  row-block), or ``"kk"`` (one region per thread per kk pass —
+  cheapest checksums, most lost work on a crash).
+* **Repair optimization** (section IV): ``repair="incremental"``
+  searches for an earlier kk whose checksum still matches the damaged
+  block and recomputes only the difference, instead of from scratch.
+* **Checksum organization** (Figure 7): ``checksum_org="embedded"``
+  stores each region's checksum in extra columns appended to the c
+  matrix (Figure 7a) instead of the standalone collision-free table
+  (Figure 7b, the paper's choice).
+
+Work is partitioned by row-block: thread ``t`` owns the ii tiles with
+``ii_tile % num_threads == t``, so no two threads ever write the same
+c element and checksum slots are thread-private (section IV).
+
+Recovery implements Figure 9 generalised to threads: every recovery
+thread scans checksums in reverse kk order for its restart frontier,
+repairs its own inconsistent row-blocks from the pristine inputs
+(Eager), and resumes normal execution after the frontier.  Repair +
+resume is correct for *any* frontier choice — the frontier only bounds
+how much work is redone — which is what makes the paper's relaxed
+associativity argument (section IV) sound.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.isa import Compute, Fence, Flush, Load, Op, RegionMark, Store
+from repro.sim.machine import Machine, ThreadGen
+from repro.core.eager import persist_addrs, persist_region
+from repro.core.hashtable import INVALID_CHECKSUM
+from repro.core.lazy import LPRuntime
+from repro.core.region import RegionChecksum
+from repro.core.wal import WriteAheadLog
+from repro.workloads.arrays import PMatrix
+from repro.workloads.base import (
+    BoundWorkload,
+    VARIANT_BASE,
+    VARIANT_EP,
+    VARIANT_LP,
+    VARIANT_WAL,
+    Workload,
+    integer_matrix,
+)
+from repro.workloads.registry import register
+
+GRANULARITIES = ("jj", "ii", "kk")
+REPAIR_MODES = ("scratch", "incremental")
+CHECKSUM_ORGS = ("table", "embedded")
+
+
+@register
+class TiledMatMul(Workload):
+    """c = a @ b with bsize x bsize tiles (Figure 4)."""
+
+    name = "tmm"
+    variants = (VARIANT_BASE, VARIANT_LP, VARIANT_EP, VARIANT_WAL)
+
+    def __init__(
+        self,
+        n: int = 96,
+        bsize: int = 8,
+        seed: int = 7,
+        kk_tiles: Optional[int] = None,
+        granularity: str = "ii",
+        repair: str = "scratch",
+        checksum_org: str = "table",
+        eager_checksum: bool = False,
+    ) -> None:
+        if n % bsize != 0:
+            raise WorkloadError(f"n={n} not divisible by bsize={bsize}")
+        if granularity not in GRANULARITIES:
+            raise WorkloadError(
+                f"granularity {granularity!r} not in {GRANULARITIES}"
+            )
+        if repair not in REPAIR_MODES:
+            raise WorkloadError(f"repair {repair!r} not in {REPAIR_MODES}")
+        if checksum_org not in CHECKSUM_ORGS:
+            raise WorkloadError(
+                f"checksum_org {checksum_org!r} not in {CHECKSUM_ORGS}"
+            )
+        if checksum_org == "embedded" and granularity != "ii":
+            raise WorkloadError(
+                "the embedded organization (Fig 7a) is defined for the "
+                "paper's ii-granularity regions"
+            )
+        self.n = n
+        self.bsize = bsize
+        self.seed = seed
+        self.tiles = n // bsize
+        self.granularity = granularity
+        self.repair = repair
+        self.checksum_org = checksum_org
+        #: Section III-D's alternative: persist each checksum eagerly
+        #: (flush + fence at every commit).  Removes the Figure 6 "R3"
+        #: false negative at the cost of paying Eager Persistency for
+        #: the checksum itself; the paper chooses lazy (False).
+        self.eager_checksum = eager_checksum
+        #: Simulation window: number of kk tiles to execute (the paper
+        #: simulates 2 of 64 for its timing runs).  None = all.
+        self.kk_tiles = self.tiles if kk_tiles is None else kk_tiles
+        if not 1 <= self.kk_tiles <= self.tiles:
+            raise WorkloadError(f"kk_tiles={kk_tiles} out of range")
+
+    def bind(
+        self,
+        machine: Machine,
+        num_threads: int = 1,
+        engine: str = "modular",
+        create: bool = True,
+    ) -> "BoundTMM":
+        return BoundTMM(self, machine, num_threads, engine, create)
+
+
+class BoundTMM(BoundWorkload):
+    """A TMM instance bound to one machine."""
+
+    def __init__(
+        self,
+        spec: TiledMatMul,
+        machine: Machine,
+        num_threads: int,
+        engine: str,
+        create: bool,
+    ) -> None:
+        super().__init__(machine, num_threads, engine)
+        self.spec = spec
+        n, b, T = spec.n, spec.bsize, spec.tiles
+        self.a = PMatrix(machine, "tmm.a", n, n, create=create)
+        self.b = PMatrix(machine, "tmm.b", n, n, create=create)
+        # Figure 7a: the embedded organization widens c by one checksum
+        # column per kk tile; slot (kkt, iit) lives at row ii, col n+kkt.
+        extra_cols = T if spec.checksum_org == "embedded" else 0
+        self.c = PMatrix(machine, "tmm.c", n, n + extra_cols, create=create)
+        if spec.checksum_org == "embedded":
+            table_dims = (1,)  # engine holder only; slots live in c
+        elif spec.granularity == "jj":
+            table_dims = (T, T, T)
+        elif spec.granularity == "ii":
+            table_dims = (T, T, num_threads)
+        else:  # "kk"
+            table_dims = (T, num_threads)
+        self.lp = LPRuntime(
+            machine, "tmm.cktab", dims=table_dims, engine=engine, create=create
+        )
+        # EagerRecompute per-thread progress markers.
+        self.markers = [
+            machine.scalar(f"tmm.progress.{t}", -1.0)
+            if create
+            else machine.region(f"tmm.progress.{t}")
+            for t in range(num_threads)
+        ]
+        # WAL logs, one per thread, sized for one region's writes.
+        self.logs = [
+            WriteAheadLog(
+                machine, f"tmm.log.{t}", capacity=b * n, create=create
+            )
+            for t in range(num_threads)
+        ]
+        if create:
+            rng = random.Random(spec.seed)
+            self.a.fill(integer_matrix(rng, n, n))
+            self.b.fill(integer_matrix(rng, n, n))
+            if extra_cols:
+                # checksum columns start durably invalid (section IV's
+                # "initialize each checksum to an invalid value")
+                full = np.zeros((n, n + extra_cols))
+                full[:, n:] = INVALID_CHECKSUM
+                self.c.fill(full)
+
+    # ------------------------------------------------------------------
+    # work partition
+    # ------------------------------------------------------------------
+
+    def my_ii_tiles(self, tid: int) -> List[int]:
+        """Row-block (ii) tiles owned by thread ``tid``."""
+        return [t for t in range(self.spec.tiles) if t % self.num_threads == tid]
+
+    def owner_of(self, ii_tile: int) -> int:
+        """Owning thread of an ii tile."""
+        return ii_tile % self.num_threads
+
+    # ------------------------------------------------------------------
+    # checksum slot plumbing (standalone table vs embedded columns)
+    # ------------------------------------------------------------------
+
+    def _slot_addr(
+        self, kkt: int, iit: int, jjt: Optional[int], tid: int
+    ) -> int:
+        spec = self.spec
+        if spec.checksum_org == "embedded":
+            return self.c.addr(iit * spec.bsize, spec.n + kkt)
+        if spec.granularity == "jj":
+            assert jjt is not None
+            return self.lp.table.slot_addr(kkt, iit, jjt)
+        if spec.granularity == "ii":
+            return self.lp.table.slot_addr(kkt, iit, tid)
+        return self.lp.table.slot_addr(kkt, tid)
+
+    def _slot_committed(
+        self, kkt: int, iit: int, jjt: Optional[int], tid: int
+    ) -> bool:
+        addr = self._slot_addr(kkt, iit, jjt, tid)
+        return (
+            self.machine.mem.persisted(addr, INVALID_CHECKSUM)
+            != INVALID_CHECKSUM
+        )
+
+    def _commit_slot(
+        self, ck: RegionChecksum, kkt: int, iit: int, jjt: Optional[int],
+        tid: int, eager: bool,
+    ) -> Generator[Op, Optional[float], None]:
+        addr = self._slot_addr(kkt, iit, jjt, tid)
+        yield Compute(1)  # slot-index computation
+        yield Store(addr, float(ck.value))
+        if eager:
+            yield Flush(addr)
+            yield Fence()
+
+    def _read_slot(
+        self, kkt: int, iit: int, jjt: Optional[int], tid: int
+    ) -> Generator[Op, Optional[float], float]:
+        value = yield Load(self._slot_addr(kkt, iit, jjt, tid))
+        return value  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # normal execution
+    # ------------------------------------------------------------------
+
+    def threads(self, variant: str) -> List[ThreadGen]:
+        self.spec.check_variant(variant)
+        return [
+            self._worker(variant, tid, start_kk_tile=0)
+            for tid in range(self.num_threads)
+        ]
+
+    def _worker(
+        self, variant: str, tid: int, start_kk_tile: int
+    ) -> ThreadGen:
+        lp_kk = variant == VARIANT_LP and self.spec.granularity == "kk"
+        for kkt in range(start_kk_tile, self.spec.kk_tiles):
+            outer_ck = self.lp.begin_region() if lp_kk else None
+            for iit in self.my_ii_tiles(tid):
+                yield RegionMark(f"tmm:{variant}:kk{kkt}:ii{iit}")
+                yield from self._region(variant, tid, kkt, iit, outer_ck)
+            if lp_kk:
+                assert outer_ck is not None
+                yield from self._commit_slot(
+                    outer_ck, kkt, 0, None, tid,
+                    eager=self.spec.eager_checksum,
+                )
+
+    def _region(
+        self,
+        variant: str,
+        tid: int,
+        kkt: int,
+        iit: int,
+        outer_ck: Optional[RegionChecksum],
+    ) -> Generator[Op, Optional[float], None]:
+        """One ii iteration (the Figure 8 loop body)."""
+        spec = self.spec
+        n, b, T = spec.n, spec.bsize, spec.tiles
+        kk, ii = kkt * b, iit * b
+        gran = spec.granularity
+        ck: Optional[RegionChecksum] = None
+        wal_writes: List[tuple] = []
+        if variant == VARIANT_LP:
+            if gran == "kk":
+                ck = outer_ck
+            elif gran == "ii":
+                ck = self.lp.begin_region()  # ResetCheckSum()
+
+        for jjt in range(T):
+            jj = jjt * b
+            if variant == VARIANT_LP and gran == "jj":
+                ck = self.lp.begin_region()
+            for i in range(ii, ii + b):
+                for j in range(jj, jj + b):
+                    s = yield from self.c.read(i, j)
+                    for k in range(kk, kk + b):
+                        av = yield from self.a.read(i, k)
+                        bv = yield from self.b.read(k, j)
+                        s += av * bv
+                    yield Compute(2 * b)  # the k-loop multiply-adds
+                    if variant == VARIANT_WAL:
+                        wal_writes.append((self.c.addr(i, j), s))
+                    else:
+                        yield from self.c.write(i, j, s)
+                    if ck is not None:
+                        yield from ck.update(s)  # UpdateCheckSum(c[i][j])
+                if variant == VARIANT_EP:
+                    # EagerRecompute: persist the finished row stride
+                    # (bsize elements = one clflushopt per covered line).
+                    yield from persist_addrs(self.c.row_addrs(i, jj, jj + b))
+            if variant == VARIANT_LP and gran == "jj":
+                assert ck is not None
+                yield from self._commit_slot(
+                    ck, kkt, iit, jjt, tid,
+                    eager=self.spec.eager_checksum,
+                )
+            if variant == VARIANT_EP:
+                # "A transaction covers a single tile": wait for the
+                # tile's flushes, then durably bump the progress marker.
+                yield Fence()
+                marker = self.markers[tid]
+                yield Store(marker.base, float((kkt * T + iit) * T + jjt))
+                yield Flush(marker.base)
+                yield Fence()
+
+        if variant == VARIANT_LP and gran == "ii":
+            assert ck is not None
+            yield from self._commit_slot(
+                ck, kkt, iit, None, tid, eager=self.spec.eager_checksum
+            )
+        elif variant == VARIANT_WAL:
+            yield from self.logs[tid].transaction(wal_writes)
+
+    # ------------------------------------------------------------------
+    # recovery (Figure 9)
+    # ------------------------------------------------------------------
+
+    def recovery_threads(self) -> List[ThreadGen]:
+        return [self._recover(tid) for tid in range(self.num_threads)]
+
+    def _recover(self, tid: int) -> ThreadGen:
+        """Reverse-scan, repair own blocks, resume normal execution."""
+        yield RegionMark(f"tmm:recover:t{tid}:scan")
+
+        # 1. reverse scan over kk for the restart frontier (Figure 9
+        #    lines 1-15).  Timed: post-crash arch state == NVMM image.
+        frontier: Optional[int] = None
+        for kkt in reversed(range(self.spec.kk_tiles)):
+            found = yield from self._any_region_matches(kkt)
+            if found:
+                frontier = kkt
+                break
+
+        # 2. repair this thread's inconsistent row-blocks at the frontier.
+        for iit in self.my_ii_tiles(tid):
+            if frontier is not None:
+                ok = yield from self._block_consistent_at(frontier, iit)
+                if ok:
+                    continue
+            yield RegionMark(f"tmm:recover:t{tid}:repair:ii{iit}")
+            yield from self._repair_block(tid, iit, frontier)
+        if frontier is not None and self.spec.granularity == "kk":
+            # the per-thread kk checksum covers all of this thread's
+            # blocks; re-commit it over the (now consistent) pass
+            yield from self._recommit_kk_checksum(tid, frontier)
+
+        # 3. resume normal (Lazy) execution after the frontier.
+        resume_from = 0 if frontier is None else frontier + 1
+        yield from self._worker(VARIANT_LP, tid, start_kk_tile=resume_from)
+
+    # -- consistency probes, per granularity --------------------------------
+
+    def _any_region_matches(
+        self, kkt: int
+    ) -> Generator[Op, Optional[float], bool]:
+        spec = self.spec
+        if spec.granularity == "jj":
+            for iit in range(spec.tiles):
+                for jjt in range(spec.tiles):
+                    ok = yield from self._tile_matches(kkt, iit, jjt)
+                    if ok:
+                        return True
+            return False
+        if spec.granularity == "kk":
+            for t in range(self.num_threads):
+                ok = yield from self._kk_pass_matches(kkt, t)
+                if ok:
+                    return True
+            return False
+        for iit in range(spec.tiles):
+            ok = yield from self._block_matches(kkt, iit)
+            if ok:
+                return True
+        return False
+
+    def _block_consistent_at(
+        self, kkt: int, iit: int
+    ) -> Generator[Op, Optional[float], bool]:
+        """Is this whole row-block exactly at state kkt?"""
+        spec = self.spec
+        if spec.granularity == "jj":
+            for jjt in range(spec.tiles):
+                ok = yield from self._tile_matches(kkt, iit, jjt)
+                if not ok:
+                    return False
+            return True
+        if spec.granularity == "kk":
+            return (
+                yield from self._kk_pass_matches(kkt, self.owner_of(iit))
+            )
+        return (yield from self._block_matches(kkt, iit))
+
+    def _block_matches(
+        self, kkt: int, iit: int
+    ) -> Generator[Op, Optional[float], bool]:
+        """IsMatchingChecksum(ii, kk) for ii-granularity regions."""
+        tid = self.owner_of(iit)
+        if not self._slot_committed(kkt, iit, None, tid):
+            return False
+        ck = RegionChecksum(self.lp.engine)
+        for i, j in self._region_value_order(iit):
+            v = yield from self.c.read(i, j)
+            ck.update_silent(v)
+            yield Compute(self.lp.engine.flops_per_update)
+        stored = yield from self._read_slot(kkt, iit, None, tid)
+        return float(ck.value) == stored
+
+    def _tile_matches(
+        self, kkt: int, iit: int, jjt: int
+    ) -> Generator[Op, Optional[float], bool]:
+        tid = self.owner_of(iit)
+        if not self._slot_committed(kkt, iit, jjt, tid):
+            return False
+        b = self.spec.bsize
+        ck = RegionChecksum(self.lp.engine)
+        for i in range(iit * b, iit * b + b):
+            for j in range(jjt * b, jjt * b + b):
+                v = yield from self.c.read(i, j)
+                ck.update_silent(v)
+                yield Compute(self.lp.engine.flops_per_update)
+        stored = yield from self._read_slot(kkt, iit, jjt, tid)
+        return float(ck.value) == stored
+
+    def _kk_pass_matches(
+        self, kkt: int, tid: int
+    ) -> Generator[Op, Optional[float], bool]:
+        if not self._slot_committed(kkt, 0, None, tid):
+            return False
+        ck = RegionChecksum(self.lp.engine)
+        for iit in self.my_ii_tiles(tid):
+            for i, j in self._region_value_order(iit):
+                v = yield from self.c.read(i, j)
+                ck.update_silent(v)
+                yield Compute(self.lp.engine.flops_per_update)
+        stored = yield from self._read_slot(kkt, 0, None, tid)
+        return float(ck.value) == stored
+
+    def _region_value_order(self, iit: int):
+        """(i, j) pairs in the exact order region (kk, iit) updates its
+        checksum: jj tiles outermost, then i rows, then j (Figure 8)."""
+        b, T = self.spec.bsize, self.spec.tiles
+        ii = iit * b
+        for jjt in range(T):
+            jj = jjt * b
+            for i in range(ii, ii + b):
+                for j in range(jj, jj + b):
+                    yield i, j
+
+    # -- repair ---------------------------------------------------------------
+
+    def _repair_block(
+        self, tid: int, iit: int, frontier: Optional[int]
+    ) -> Generator[Op, Optional[float], None]:
+        """Repair(ii, kk): bring a row-block to its state after the
+        frontier kk, with Eager Persistency (forward progress)."""
+        spec = self.spec
+        n, b = spec.n, spec.bsize
+        ii = iit * b
+        k_hi = 0 if frontier is None else (frontier + 1) * b
+
+        # Section IV's optimization: find an earlier kk whose checksum
+        # still matches this block and recompute only the difference.
+        base_kkt: Optional[int] = None
+        if (
+            spec.repair == "incremental"
+            and spec.granularity == "ii"
+            and frontier is not None
+        ):
+            for kkt in reversed(range(frontier)):
+                ok = yield from self._block_matches(kkt, iit)
+                if ok:
+                    base_kkt = kkt
+                    break
+        k_lo = 0 if base_kkt is None else (base_kkt + 1) * b
+
+        new_values = {}
+        for i in range(ii, ii + b):
+            for j in range(n):
+                if base_kkt is None:
+                    s = 0.0
+                else:
+                    s = yield from self.c.read(i, j)
+                for k in range(k_lo, k_hi):
+                    av = yield from self.a.read(i, k)
+                    bv = yield from self.b.read(k, j)
+                    s += av * bv
+                if k_hi > k_lo:
+                    yield Compute(2 * (k_hi - k_lo))
+                yield from self.c.write(i, j, s)
+                new_values[(i, j)] = s
+        # persist the repaired block eagerly (forward progress)
+        yield from persist_region(
+            [self.c.addr(i, j) for i in range(ii, ii + b) for j in range(n)]
+        )
+        if frontier is None:
+            return
+        # re-commit the frontier checksum(s) eagerly so a crash during
+        # the remaining recovery finds this block consistent.
+        if spec.granularity == "jj":
+            for jjt in range(spec.tiles):
+                ck = RegionChecksum(self.lp.engine)
+                for i in range(ii, ii + b):
+                    for j in range(jjt * b, jjt * b + b):
+                        ck.update_silent(new_values[(i, j)])
+                        yield Compute(self.lp.engine.flops_per_update)
+                yield from self._commit_slot(
+                    ck, frontier, iit, jjt, tid, eager=True
+                )
+        elif spec.granularity == "ii":
+            ck = RegionChecksum(self.lp.engine)
+            for i, j in self._region_value_order(iit):
+                ck.update_silent(new_values[(i, j)])
+                yield Compute(self.lp.engine.flops_per_update)
+            yield from self._commit_slot(ck, frontier, iit, None, tid, eager=True)
+        # "kk" granularity recommits once per thread in _recover.
+
+    def _recommit_kk_checksum(self, tid: int, frontier: int) -> ThreadGen:
+        ck = RegionChecksum(self.lp.engine)
+        for iit in self.my_ii_tiles(tid):
+            for i, j in self._region_value_order(iit):
+                v = yield from self.c.read(i, j)
+                ck.update_silent(v)
+                yield Compute(self.lp.engine.flops_per_update)
+        yield from self._commit_slot(ck, frontier, 0, None, tid, eager=True)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def reference(self) -> np.ndarray:
+        a = self.a.to_numpy()
+        bmat = self.b.to_numpy()
+        k_hi = self.spec.kk_tiles * self.spec.bsize
+        return a[:, :k_hi] @ bmat[:k_hi, :]
+
+    def output(self, persistent: bool = False) -> np.ndarray:
+        full = self.c.to_numpy(persistent=persistent)
+        return full[:, : self.spec.n]
+
+    @property
+    def checksum_space_bytes(self) -> int:
+        """Footprint of the checksum metadata (Figure 7 comparison)."""
+        if self.spec.checksum_org == "embedded":
+            return self.spec.n * self.spec.tiles * 8
+        return self.lp.space_overhead_bytes

@@ -1,0 +1,66 @@
+"""Tests for the crash-campaign driver."""
+
+from repro.analysis.crashlab import run_crash_campaign
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.workloads.conv2d import Conv2D
+from repro.workloads.tmm import TiledMatMul
+
+
+def config(cores=3):
+    return MachineConfig(
+        num_cores=cores,
+        l1=CacheConfig(1024, 2, hit_cycles=2.0),
+        l2=CacheConfig(4096, 4, hit_cycles=11.0),
+    )
+
+
+class TestCrashCampaign:
+    def test_tmm_campaign_all_recover(self):
+        campaign = run_crash_campaign(
+            TiledMatMul(n=16, bsize=8),
+            config(),
+            crash_points=[3, 700, 2500],
+            num_threads=2,
+        )
+        assert campaign.crashes >= 1
+        assert campaign.all_recovered
+        assert campaign.mean_recovery_ops() > 0
+
+    def test_conv_campaign_all_recover(self):
+        campaign = run_crash_campaign(
+            Conv2D(n=12, ksize=3, row_block=2),
+            config(),
+            crash_points=[10, 900],
+            num_threads=2,
+        )
+        assert campaign.all_recovered
+
+    def test_late_crash_point_may_not_crash(self):
+        campaign = run_crash_campaign(
+            TiledMatMul(n=16, bsize=8),
+            config(),
+            crash_points=[10_000_000],
+            num_threads=2,
+        )
+        assert campaign.crashes == 0
+        assert campaign.trials[0].recovered_ok  # verified clean finish
+        assert campaign.mean_recovery_ops() == 0.0
+
+    def test_cleaner_bounds_recovery(self):
+        slow = run_crash_campaign(
+            TiledMatMul(n=16, bsize=8),
+            config(),
+            crash_points=[2500],
+            num_threads=2,
+        )
+        fast = run_crash_campaign(
+            TiledMatMul(n=16, bsize=8),
+            config(),
+            crash_points=[2500],
+            num_threads=2,
+            cleaner_period=500.0,
+        )
+        assert fast.all_recovered and slow.all_recovered
+        assert (
+            fast.trials[0].recovery_ops <= slow.trials[0].recovery_ops
+        )

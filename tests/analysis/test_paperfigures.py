@@ -1,0 +1,28 @@
+"""Tests for the one-command reproduction facade."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.analysis.paperfigures import reproduce
+
+
+class TestReproduce:
+    def test_smoke_report_structure(self):
+        report = reproduce(scale="smoke")
+        assert "TMM schemes" in report
+        assert "Crash recovery" in report
+        assert "Checksum accuracy" in report
+        assert "True" in report  # recovery exactness row
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigError):
+            reproduce(scale="galactic")
+
+    def test_cli_integration(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        rc = main(["reproduce", "--scale", "smoke", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "reproduction report" in out.read_text()

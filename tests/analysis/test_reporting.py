@@ -1,0 +1,56 @@
+"""Tests for reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import format_table, geomean, normalize, paper_vs_measured
+
+
+class TestNormalize:
+    def test_ratio(self):
+        assert normalize(12.0, 10.0) == 1.2
+
+    def test_zero_base(self):
+        assert normalize(5.0, 0.0) == float("inf")
+        assert normalize(0.0, 0.0) == 1.0
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_matches_paper_style_average(self):
+        overheads = [1.008, 1.011, 1.009, 1.021, 1.011]
+        g = geomean(overheads)
+        assert 1.0 < g < 1.03
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        s = format_table(["scheme", "exec"], [["lp", 1.002], ["ep", 1.12]])
+        assert "scheme" in s
+        assert "lp" in s and "1.002" in s
+
+    def test_title(self):
+        s = format_table(["a"], [[1]], title="Figure 10")
+        assert s.splitlines()[0] == "Figure 10"
+
+    def test_alignment_consistent(self):
+        s = format_table(["x", "y"], [["aa", 1], ["b", 22]])
+        lines = s.splitlines()
+        assert len({len(l) for l in lines[0:1]}) == 1
+
+
+class TestPaperVsMeasured:
+    def test_ratio_column(self):
+        s = paper_vs_measured({"lp": (1.002, 1.005)}, "exec")
+        assert "lp" in s
+        assert "1.002" in s and "1.005" in s

@@ -1,0 +1,89 @@
+"""Tests for the sensitivity-study sweep drivers."""
+
+from repro.analysis.sweep import (
+    sweep_checksum,
+    sweep_cleaner_period,
+    sweep_l2_size,
+    sweep_nvmm_latency,
+    sweep_threads,
+)
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.workloads.tmm import TiledMatMul
+
+
+def config(cores=4):
+    return MachineConfig(
+        num_cores=cores,
+        l1=CacheConfig(1024, 2, hit_cycles=2.0),
+        l2=CacheConfig(4096, 4, hit_cycles=11.0),
+    )
+
+
+def tmm():
+    return TiledMatMul(n=16, bsize=8)
+
+
+class TestNVMMLatencySweep:
+    def test_points_and_variants(self):
+        out = sweep_nvmm_latency(
+            tmm(),
+            config(),
+            latencies=[(120.0, 300.0), (300.0, 600.0)],
+            variants=("base", "lp"),
+            num_threads=2,
+        )
+        assert set(out) == {(120.0, 300.0), (300.0, 600.0)}
+        assert set(out[(120.0, 300.0)]) == {"base", "lp"}
+
+    def test_higher_latency_slower_base(self):
+        out = sweep_nvmm_latency(
+            tmm(),
+            config(),
+            latencies=[(60.0, 150.0), (600.0, 1200.0)],
+            variants=("base",),
+            num_threads=2,
+        )
+        assert (
+            out[(600.0, 1200.0)]["base"].exec_cycles
+            > out[(60.0, 150.0)]["base"].exec_cycles
+        )
+
+
+class TestThreadSweep:
+    def test_more_threads_faster(self):
+        out = sweep_threads(tmm(), config(cores=4), [1, 2], variants=("base",))
+        assert out[2]["base"].exec_cycles < out[1]["base"].exec_cycles
+
+
+class TestL2Sweep:
+    def test_sizes_run(self):
+        out = sweep_l2_size(
+            tmm(), config(), [2048, 4096], variants=("base",), num_threads=2
+        )
+        assert set(out) == {2048, 4096}
+
+
+class TestChecksumSweep:
+    def test_engines_run_and_verify(self):
+        out = sweep_checksum(
+            tmm(), config(), ["parity", "modular", "adler32"], num_threads=2
+        )
+        assert all(r.verified for r in out.values())
+
+    def test_adler_slower_than_parity(self):
+        out = sweep_checksum(
+            tmm(), config(), ["parity", "adler32"], num_threads=2
+        )
+        assert out["adler32"].exec_cycles > out["parity"].exec_cycles
+
+
+class TestCleanerSweep:
+    def test_shorter_period_more_writes(self):
+        out = sweep_cleaner_period(
+            tmm(), config(), [200.0, 20000.0, None], num_threads=2
+        )
+        assert (
+            out[200.0].nvmm_writes
+            > out[20000.0].nvmm_writes
+            >= out[None].nvmm_writes
+        )

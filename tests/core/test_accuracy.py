@@ -1,0 +1,78 @@
+"""Unit tests for the section III-D checksum accuracy study."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.accuracy import run_error_injection
+from repro.core.checksum import (
+    Adler32Checksum,
+    ModularChecksum,
+    ParallelChecksum,
+    ParityChecksum,
+)
+
+
+class TestStaleModel:
+    @pytest.mark.parametrize(
+        "engine_cls", [ModularChecksum, Adler32Checksum, ParallelChecksum]
+    )
+    def test_strong_engines_miss_nothing(self, engine_cls):
+        res = run_error_injection(
+            engine_cls(), region_size=64, trials=2000, error_model="stale", seed=1
+        )
+        assert res.missed == 0
+        assert res.miss_probability == 0.0
+        assert res.miss_probability_upper_bound <= 3.0 / 1000
+
+    def test_result_bookkeeping(self):
+        res = run_error_injection(
+            ModularChecksum(), region_size=16, trials=100, seed=2
+        )
+        assert res.trials == 100
+        assert res.engine == "modular"
+        assert res.error_model == "stale"
+        assert 0 <= res.degenerate <= 100
+
+
+class TestPairedModel:
+    def test_parity_misses_everything(self):
+        res = run_error_injection(
+            ParityChecksum(),
+            region_size=32,
+            trials=500,
+            error_model="paired",
+            seed=3,
+        )
+        # XOR parity is structurally blind to paired identical flips
+        assert res.miss_probability == 1.0
+
+    def test_modular_catches_paired_flips(self):
+        res = run_error_injection(
+            ModularChecksum(),
+            region_size=32,
+            trials=500,
+            error_model="paired",
+            seed=3,
+        )
+        assert res.miss_probability < 0.01
+
+    def test_parallel_catches_paired_flips(self):
+        res = run_error_injection(
+            ParallelChecksum(),
+            region_size=32,
+            trials=500,
+            error_model="paired",
+            seed=3,
+        )
+        assert res.miss_probability < 0.01
+
+
+class TestValidation:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            run_error_injection(ModularChecksum(), error_model="cosmic-rays")
+
+    def test_deterministic_given_seed(self):
+        a = run_error_injection(ParityChecksum(), trials=200, seed=7)
+        b = run_error_injection(ParityChecksum(), trials=200, seed=7)
+        assert (a.missed, a.degenerate) == (b.missed, b.degenerate)

@@ -1,0 +1,64 @@
+"""Unit tests for the Eager Persistency helpers."""
+
+from repro.core.eager import durable_store, lines_covering, persist_region
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.isa import Fence, Flush, Store
+from repro.sim.machine import Machine
+
+
+def tiny_machine():
+    return Machine(
+        MachineConfig(
+            num_cores=1,
+            l1=CacheConfig(512, 2, hit_cycles=2.0),
+            l2=CacheConfig(4096, 2, hit_cycles=11.0),
+        )
+    )
+
+
+class TestLinesCovering:
+    def test_dedupes_within_line(self):
+        # eight 8B elements share one 64B line
+        addrs = [64 + 8 * i for i in range(8)]
+        assert lines_covering(addrs) == [64]
+
+    def test_spans_lines(self):
+        addrs = [64, 128, 136]
+        assert lines_covering(addrs) == [64, 128]
+
+    def test_preserves_first_seen_order(self):
+        assert lines_covering([128, 64]) == [128, 64]
+
+
+class TestPersistRegion:
+    def test_one_flush_per_line_plus_fence(self):
+        ops = list(persist_region([64, 72, 128]))
+        flushes = [op for op in ops if isinstance(op, Flush)]
+        fences = [op for op in ops if isinstance(op, Fence)]
+        assert len(flushes) == 2
+        assert len(fences) == 1
+        assert isinstance(ops[-1], Fence)
+
+    def test_persists_data(self):
+        m = tiny_machine()
+        r = m.alloc("a", 16)
+
+        def kernel():
+            for i in range(16):
+                yield Store(r.addr(i), 2.0)
+            yield from persist_region([r.addr(i) for i in range(16)])
+
+        m.run([kernel()])
+        assert m.read_region(r, persistent=True) == [2.0] * 16
+
+
+class TestDurableStore:
+    def test_sequence(self):
+        ops = list(durable_store(64, 1.0))
+        assert [type(o) for o in ops] == [Store, Flush, Fence]
+
+    def test_durability(self):
+        m = tiny_machine()
+        r = m.alloc("a", 1)
+        m.run([durable_store(r.base, 9.0)])
+        assert m.persistent_value(r.base) == 9.0

@@ -1,0 +1,69 @@
+"""Unit tests for the recovery drivers."""
+
+from repro.core.recovery import (
+    RecoveryReport,
+    find_restart_frontier,
+    partition_regions,
+)
+
+
+class TestFrontierScan:
+    def test_finds_latest_consistent_major(self):
+        # regions consistent through major 2, nothing at 3/4
+        consistent = {(m, i) for m in range(3) for i in range(4)}
+        frontier = find_restart_frontier(
+            range(5), range(4), lambda m, i: (m, i) in consistent
+        )
+        assert frontier == 2
+
+    def test_reverse_order_short_circuits(self):
+        calls = []
+
+        def probe(m, i):
+            calls.append((m, i))
+            return m == 4
+
+        frontier = find_restart_frontier(range(5), range(3), probe)
+        assert frontier == 4
+        assert calls == [(4, 0)]  # stopped at the very first probe
+
+    def test_none_when_nothing_consistent(self):
+        assert find_restart_frontier(range(3), range(3), lambda m, i: False) is None
+
+    def test_partial_major_still_counts(self):
+        # only one region of major 1 persisted: frontier is still 1,
+        # and its siblings get repaired (Figure 9's inner loop)
+        frontier = find_restart_frontier(
+            range(3), range(4), lambda m, i: (m, i) == (1, 2)
+        )
+        assert frontier == 1
+
+    def test_report_populated(self):
+        report = RecoveryReport()
+        find_restart_frontier(
+            range(3), range(2), lambda m, i: m == 0, report=report
+        )
+        assert report.frontier == 0
+        assert report.regions_checked == 5  # (2,0)(2,1)(1,0)(1,1)(0,0)
+        assert report.regions_consistent == 1
+
+
+class TestPartition:
+    def test_split(self):
+        good, bad = partition_regions(range(6), lambda i: i % 2 == 0)
+        assert good == [0, 2, 4]
+        assert bad == [1, 3, 5]
+
+
+class TestReport:
+    def test_recomputed_fraction(self):
+        r = RecoveryReport(regions_checked=10, regions_repaired=3)
+        assert r.recomputed_fraction == 0.3
+
+    def test_empty_fraction(self):
+        assert RecoveryReport().recomputed_fraction == 0.0
+
+    def test_notes(self):
+        r = RecoveryReport()
+        r.note("hello")
+        assert r.notes == ["hello"]

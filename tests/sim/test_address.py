@@ -1,0 +1,97 @@
+"""Unit tests for repro.sim.address."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.sim.address import (
+    Allocator,
+    Region,
+    element_addrs_of_line,
+    is_element_aligned,
+    line_of,
+)
+from repro.sim.config import ELEMENT_BYTES, LINE_BYTES
+
+
+class TestLineMath:
+    def test_line_of_aligned(self):
+        assert line_of(128) == 128
+
+    def test_line_of_unaligned(self):
+        assert line_of(130) == 128
+        assert line_of(191) == 128
+        assert line_of(192) == 192
+
+    def test_element_addrs_of_line(self):
+        addrs = list(element_addrs_of_line(64))
+        assert addrs == [64, 72, 80, 88, 96, 104, 112, 120]
+
+    def test_alignment(self):
+        assert is_element_aligned(64)
+        assert is_element_aligned(72)
+        assert not is_element_aligned(65)
+
+
+class TestRegion:
+    def test_addr_indexing(self):
+        r = Region("x", base=64, num_elements=10)
+        assert r.addr(0) == 64
+        assert r.addr(9) == 64 + 9 * ELEMENT_BYTES
+
+    def test_addr_bounds(self):
+        r = Region("x", base=64, num_elements=10)
+        with pytest.raises(AddressError):
+            r.addr(10)
+        with pytest.raises(AddressError):
+            r.addr(-1)
+
+    def test_lines_cover_region(self):
+        r = Region("x", base=64, num_elements=9)  # 72B -> spans 2 lines
+        assert list(r.lines()) == [64, 128]
+
+    def test_element_addrs(self):
+        r = Region("x", base=64, num_elements=3)
+        assert list(r.element_addrs()) == [64, 72, 80]
+
+
+class TestAllocator:
+    def test_line_aligned_allocations(self):
+        alloc = Allocator(1 << 20)
+        a = alloc.alloc("a", 3)  # under one line, padded to a line
+        b = alloc.alloc("b", 1)
+        assert a.base % LINE_BYTES == 0
+        assert b.base % LINE_BYTES == 0
+        assert b.base >= a.base + LINE_BYTES  # no line sharing
+
+    def test_no_zero_address(self):
+        alloc = Allocator(1 << 20)
+        a = alloc.alloc("a", 1)
+        assert a.base > 0
+
+    def test_duplicate_name_rejected(self):
+        alloc = Allocator(1 << 20)
+        alloc.alloc("a", 1)
+        with pytest.raises(AddressError):
+            alloc.alloc("a", 1)
+
+    def test_lookup(self):
+        alloc = Allocator(1 << 20)
+        a = alloc.alloc("a", 4)
+        assert alloc.region("a") == a
+        with pytest.raises(AddressError):
+            alloc.region("missing")
+
+    def test_out_of_memory(self):
+        alloc = Allocator(256)
+        with pytest.raises(AddressError):
+            alloc.alloc("big", 1000)
+
+    def test_rejects_empty_alloc(self):
+        alloc = Allocator(1 << 20)
+        with pytest.raises(AddressError):
+            alloc.alloc("zero", 0)
+
+    def test_bytes_allocated(self):
+        alloc = Allocator(1 << 20)
+        alloc.alloc("a", 8)  # exactly one line
+        assert alloc.bytes_allocated == LINE_BYTES

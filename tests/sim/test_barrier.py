@@ -1,0 +1,88 @@
+"""Tests for the thread Barrier primitive."""
+
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.isa import Barrier, Compute, Load, Store
+from repro.sim.machine import Machine
+
+
+def machine(cores=3):
+    return Machine(
+        MachineConfig(
+            num_cores=cores,
+            l1=CacheConfig(512, 2, hit_cycles=2.0),
+            l2=CacheConfig(2048, 2, hit_cycles=11.0),
+        )
+    )
+
+
+class TestBarrier:
+    def test_clocks_synchronise(self):
+        m = machine()
+
+        def t(work):
+            yield Compute(work)
+            yield Barrier()
+            yield Compute(4)
+
+        m.run([t(400), t(4), t(40)])
+        finals = [c.clock for c in m.cores[:3]]
+        assert finals[0] == finals[1] == finals[2]
+
+    def test_ordering_across_barrier(self):
+        """Writes before the barrier are visible to reads after it."""
+        m = machine(cores=2)
+        r = m.alloc("a", 2)
+        seen = []
+
+        def producer():
+            yield Compute(400)  # slow
+            yield Store(r.addr(0), 42.0)
+            yield Barrier()
+
+        def consumer():
+            yield Barrier()
+            v = yield Load(r.addr(0))
+            seen.append(v)
+
+        m.run([producer(), consumer()])
+        assert seen == [42.0]
+
+    def test_multiple_barriers(self):
+        m = machine()
+        log = []
+
+        def t(tid):
+            for phase in range(3):
+                yield Compute((tid + 1) * 8)
+                log.append((phase, tid))
+                yield Barrier()
+
+        m.run([t(0), t(1), t(2)])
+        # all phase-k entries precede all phase-(k+1) entries
+        phases = [p for p, _ in log]
+        assert phases == sorted(phases)
+
+    def test_finished_thread_releases_barrier(self):
+        """A thread that ends never reaches the barrier; the rest must
+        not deadlock (live threads only are counted)."""
+        m = machine(cores=2)
+
+        def short():
+            yield Compute(1)
+
+        def long_gen():
+            yield Compute(800)
+            yield Barrier()
+            yield Compute(1)
+
+        res = m.run([short(), long_gen()])
+        assert res.finished_threads == 2
+
+    def test_barrier_counts_as_op(self):
+        m = machine(cores=2)
+
+        def t():
+            yield Barrier()
+
+        res = m.run([t(), t()])
+        assert res.ops_executed == 2

@@ -1,0 +1,89 @@
+"""Unit tests for repro.sim.cache."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cache import Cache, State
+from repro.sim.config import CacheConfig
+
+
+def tiny_cache(size=1024, ways=2):
+    """1KB 2-way cache: 8 sets of 64B lines."""
+    return Cache(CacheConfig(size, ways, hit_cycles=1.0), name="tiny")
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        c = tiny_cache()
+        assert c.get(64) is None
+        c.install(64, State.EXCLUSIVE)
+        assert c.get(64) is not None
+        assert c.contains(64)
+
+    def test_set_indexing_wraps(self):
+        c = tiny_cache()  # 8 sets
+        assert c.set_index(0) == c.set_index(8 * 64)
+        assert c.set_index(64) != c.set_index(128)
+
+    def test_double_install_rejected(self):
+        c = tiny_cache()
+        c.install(64, State.SHARED)
+        with pytest.raises(SimulationError):
+            c.install(64, State.SHARED)
+
+
+class TestEviction:
+    def test_no_victim_when_room(self):
+        c = tiny_cache()
+        c.install(64, State.EXCLUSIVE)
+        assert c.victim_for(64 + 8 * 64) is None
+
+    def test_lru_victim(self):
+        c = tiny_cache(ways=2)
+        stride = 8 * 64  # same set
+        c.install(0 * stride + 64, State.EXCLUSIVE)
+        c.install(1 * stride + 64, State.EXCLUSIVE)
+        # touch the first so the second becomes LRU
+        c.access(0 * stride + 64)
+        victim = c.victim_for(2 * stride + 64)
+        assert victim is not None
+        assert victim.addr == 1 * stride + 64
+
+    def test_install_into_full_set_rejected(self):
+        c = tiny_cache(ways=2)
+        stride = 8 * 64
+        c.install(64, State.EXCLUSIVE)
+        c.install(stride + 64, State.EXCLUSIVE)
+        with pytest.raises(SimulationError):
+            c.install(2 * stride + 64, State.EXCLUSIVE)
+
+    def test_remove(self):
+        c = tiny_cache()
+        c.install(64, State.MODIFIED)
+        line = c.remove(64)
+        assert line.addr == 64
+        assert not c.contains(64)
+        with pytest.raises(SimulationError):
+            c.remove(64)
+
+
+class TestDirty:
+    def test_modified_is_dirty(self):
+        c = tiny_cache()
+        line = c.install(64, State.MODIFIED)
+        assert line.dirty
+        assert [ln.addr for ln in c.dirty_lines()] == [64]
+
+    def test_clean_states_not_dirty(self):
+        c = tiny_cache()
+        assert not c.install(64, State.EXCLUSIVE).dirty
+        assert not c.install(128, State.SHARED).dirty
+        assert list(c.dirty_lines()) == []
+
+    def test_occupancy_and_drop_all(self):
+        c = tiny_cache()
+        c.install(64, State.SHARED)
+        c.install(128, State.SHARED)
+        assert c.occupancy == 2
+        c.drop_all()
+        assert c.occupancy == 0

@@ -1,0 +1,85 @@
+"""Unit tests for the periodic hardware cache cleaner (Fig 11 support)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.cleaner import PeriodicCleaner
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.isa import Compute, Store
+from repro.sim.machine import Machine
+
+
+def machine_with_cleaner(period):
+    m = Machine(
+        MachineConfig(
+            num_cores=1,
+            l1=CacheConfig(512, 2, hit_cycles=2.0),
+            l2=CacheConfig(2048, 2, hit_cycles=11.0),
+        )
+    )
+    m.cleaner = PeriodicCleaner(period)
+    return m
+
+
+def slow_writer(region, n, pause=100):
+    for i in range(n):
+        yield Store(region.addr(i), 1.0)
+        yield Compute(pause * 4)  # ~pause cycles at cpi=0.25
+
+
+class TestPeriodicCleaner:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigError):
+            PeriodicCleaner(0.0)
+
+    def test_cleans_periodically(self):
+        m = machine_with_cleaner(period=200.0)
+        r = m.alloc("a", 8)
+        m.run([slow_writer(r, 8)])
+        assert m.cleaner.cleanups >= 2
+        assert m.stats.writes_by_cause.get("cleaner", 0) >= 1
+
+    def test_bounds_dirty_data(self):
+        m = machine_with_cleaner(period=150.0)
+        r = m.alloc("a", 8)
+        m.run([slow_writer(r, 8)])
+        # every store except possibly the last period's worth is durable
+        persisted = m.read_region(r, persistent=True)
+        assert sum(persisted) >= 6.0
+
+    def test_larger_period_fewer_writes(self):
+        counts = []
+        for period in (100.0, 10000.0):
+            m = machine_with_cleaner(period)
+            r = m.alloc("a", 16)
+            m.run([slow_writer(r, 16)])
+            counts.append(m.stats.writes_by_cause.get("cleaner", 0))
+        assert counts[0] > counts[1]
+
+    def test_missed_periods_collapse(self):
+        cleaner = PeriodicCleaner(10.0)
+        m = machine_with_cleaner(10.0)
+        r = m.alloc("a", 1)
+        m.cleaner = cleaner
+        m.run([slow_writer(r, 1, pause=1000)])
+        # next_due advanced past `now` in one pass
+        assert cleaner._next_due > 1000.0 or cleaner.cleanups <= 2
+
+    def test_recovery_bound(self):
+        assert PeriodicCleaner(100.0).recovery_bound_cycles == 200.0
+
+    def test_no_performance_charge(self):
+        # cleaner runs in background: same exec cycles with and without
+        def run(period):
+            m = machine_with_cleaner(period) if period else Machine(
+                MachineConfig(
+                    num_cores=1,
+                    l1=CacheConfig(512, 2, hit_cycles=2.0),
+                    l2=CacheConfig(2048, 2, hit_cycles=11.0),
+                )
+            )
+            r = m.alloc("a", 8)
+            res = m.run([slow_writer(r, 8)])
+            return res.exec_cycles
+
+        assert run(200.0) == run(None)

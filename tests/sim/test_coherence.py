@@ -1,0 +1,234 @@
+"""Unit tests for the coherence protocol and the persistence paths."""
+
+import pytest
+
+from repro.sim.cache import State
+from repro.sim.coherence import Hierarchy
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.nvmm import MemoryController
+from repro.sim.stats import MachineStats
+from repro.sim.valuestore import MemoryState
+
+LINE = 64
+
+
+def make_hierarchy(num_cores=2, l1_size=512, l2_size=1024):
+    """Tiny hierarchy: L1 = 8 lines (2-way), L2 = 16 lines (2-way)."""
+    cfg = MachineConfig(
+        num_cores=num_cores,
+        l1=CacheConfig(l1_size, 2, hit_cycles=2.0),
+        l2=CacheConfig(l2_size, 2, hit_cycles=11.0),
+    )
+    mem = MemoryState()
+    stats = MachineStats().for_cores(num_cores)
+    mc = MemoryController(cfg.nvmm, mem, stats)
+    h = Hierarchy(cfg, mem, stats, mc)
+    # a pool of durable addresses to play with
+    for addr in range(LINE, LINE * 64, 8):
+        mem.init(addr, 0.0)
+    return h, mem, stats
+
+
+class TestLoadPath:
+    def test_cold_load_misses_through_to_nvmm(self):
+        h, mem, stats = make_hierarchy()
+        acc = h.load(0, LINE, now=0.0)
+        assert not acc.l1_hit
+        assert stats.l2_accesses == 1
+        assert stats.l2_misses == 1
+        assert stats.nvmm_reads == 1
+        assert acc.extra_latency >= h.config.nvmm.read_cycles
+
+    def test_second_load_hits_l1(self):
+        h, _, stats = make_hierarchy()
+        h.load(0, LINE, now=0.0)
+        acc = h.load(0, LINE, now=10.0)
+        assert acc.l1_hit
+        assert stats.l2_accesses == 1  # unchanged
+
+    def test_load_installs_exclusive_when_alone(self):
+        h, _, _ = make_hierarchy()
+        h.load(0, LINE, now=0.0)
+        assert h.l1s[0].get(LINE).state is State.EXCLUSIVE
+
+    def test_second_core_load_shares(self):
+        h, _, _ = make_hierarchy()
+        h.load(0, LINE, now=0.0)
+        h.load(1, LINE, now=1.0)
+        assert h.l1s[1].get(LINE).state is State.SHARED
+
+    def test_load_downgrades_remote_modified(self):
+        h, _, _ = make_hierarchy()
+        h.store(0, LINE, 5.0, now=0.0)
+        acc = h.load(1, LINE, now=1.0)
+        assert h.l1s[0].get(LINE).state is State.SHARED
+        assert h.l1s[1].get(LINE).state is State.SHARED
+        # dirty data merged into the inclusive L2
+        assert h.l2.get(LINE).dirty
+        assert acc.extra_latency >= h.config.coherence_cycles
+
+
+class TestStorePath:
+    def test_store_makes_line_modified(self):
+        h, mem, _ = make_hierarchy()
+        h.store(0, LINE, 9.0, now=0.0)
+        assert h.l1s[0].get(LINE).state is State.MODIFIED
+        assert mem.load(LINE) == 9.0
+        assert mem.persisted(LINE) == 0.0  # not durable yet
+
+    def test_store_upgrade_invalidates_sharers(self):
+        h, _, _ = make_hierarchy()
+        h.load(0, LINE, now=0.0)
+        h.load(1, LINE, now=1.0)
+        h.store(0, LINE, 1.0, now=2.0)
+        assert h.l1s[0].get(LINE).state is State.MODIFIED
+        assert not h.l1s[1].contains(LINE)
+
+    def test_store_steals_remote_modified(self):
+        h, _, _ = make_hierarchy()
+        h.store(0, LINE, 1.0, now=0.0)
+        h.store(1, LINE, 2.0, now=5.0)
+        assert not h.l1s[0].contains(LINE)
+        owner_line = h.l1s[1].get(LINE)
+        assert owner_line.state is State.MODIFIED
+        # dirty obligation transferred: dirty_since inherited from core 0
+        assert owner_line.dirty_since == 0.0
+
+    def test_store_hit_on_exclusive_promotes(self):
+        h, _, _ = make_hierarchy()
+        h.load(0, LINE, now=0.0)
+        acc = h.store(0, LINE, 3.0, now=4.0)
+        assert acc.l1_hit
+        assert h.l1s[0].get(LINE).state is State.MODIFIED
+        assert h.l1s[0].get(LINE).dirty_since == 4.0
+
+
+class TestEvictionPersistence:
+    def test_l2_eviction_persists_dirty_data(self):
+        h, mem, stats = make_hierarchy()
+        # Fill one L2 set (2 ways) with dirty lines, then force a third.
+        l2_stride = h.l2.config.num_sets * LINE
+        addrs = [LINE + i * l2_stride for i in range(3)]
+        h.store(0, addrs[0], 1.0, now=0.0)
+        h.store(0, addrs[1], 2.0, now=1.0)
+        assert stats.nvmm_writes == 0
+        h.store(0, addrs[2], 3.0, now=2.0)  # evicts the LRU dirty line
+        assert stats.nvmm_writes == 1
+        assert mem.persisted(addrs[0]) == 1.0
+        assert stats.writes_by_cause.get("eviction") == 1
+
+    def test_clean_eviction_writes_nothing(self):
+        h, _, stats = make_hierarchy()
+        l2_stride = h.l2.config.num_sets * LINE
+        for i in range(3):
+            h.load(0, LINE + i * l2_stride, now=float(i))
+        assert stats.nvmm_writes == 0
+
+    def test_l2_eviction_back_invalidates_l1(self):
+        h, _, _ = make_hierarchy()
+        l2_stride = h.l2.config.num_sets * LINE
+        addrs = [LINE + i * l2_stride for i in range(3)]
+        for i, a in enumerate(addrs):
+            h.load(0, a, now=float(i))
+        # first line was evicted from L2; inclusion says L1 lost it too
+        assert not h.l1s[0].contains(addrs[0])
+        h.check_inclusion()
+
+    def test_l1_eviction_merges_dirty_into_l2(self):
+        h, _, stats = make_hierarchy()
+        l1_stride = h.l1s[0].config.num_sets * LINE
+        addrs = [LINE + i * l1_stride for i in range(3)]
+        h.store(0, addrs[0], 1.0, now=0.0)
+        h.load(0, addrs[1], now=1.0)
+        h.load(0, addrs[2], now=2.0)  # evicts the dirty line from L1
+        assert not h.l1s[0].contains(addrs[0])
+        l2_line = h.l2.get(addrs[0])
+        assert l2_line is not None and l2_line.dirty
+        assert stats.nvmm_writes == 0  # still volatile, just lower level
+
+
+class TestFlush:
+    def test_clflushopt_persists_and_invalidates(self):
+        h, mem, stats = make_hierarchy()
+        h.store(0, LINE, 7.0, now=0.0)
+        wrote, t = h.flush_line(LINE, now=5.0, invalidate=True)
+        assert wrote
+        assert t >= 5.0
+        assert mem.persisted(LINE) == 7.0
+        assert not h.l1s[0].contains(LINE)
+        assert not h.l2.contains(LINE)
+        assert stats.writes_by_cause.get("flush") == 1
+
+    def test_clflushopt_clean_line_writes_nothing(self):
+        h, _, stats = make_hierarchy()
+        h.load(0, LINE, now=0.0)
+        wrote, _ = h.flush_line(LINE, now=1.0, invalidate=True)
+        assert not wrote
+        assert stats.nvmm_writes == 0
+        assert not h.l1s[0].contains(LINE)  # still invalidated
+
+    def test_clwb_persists_but_keeps_line(self):
+        h, mem, _ = make_hierarchy()
+        h.store(0, LINE, 7.0, now=0.0)
+        wrote, _ = h.flush_line(LINE, now=5.0, invalidate=False)
+        assert wrote
+        assert mem.persisted(LINE) == 7.0
+        line = h.l1s[0].get(LINE)
+        assert line is not None and line.state is State.EXCLUSIVE
+
+    def test_flush_absent_line_is_noop(self):
+        h, _, stats = make_hierarchy()
+        wrote, t = h.flush_line(LINE, now=3.0, invalidate=True)
+        assert not wrote and t == 3.0
+        assert stats.nvmm_writes == 0
+
+    def test_flush_l2_dirty_line_after_l1_eviction(self):
+        h, mem, _ = make_hierarchy()
+        l1_stride = h.l1s[0].config.num_sets * LINE
+        addrs = [LINE + i * l1_stride for i in range(3)]
+        h.store(0, addrs[0], 4.0, now=0.0)
+        h.load(0, addrs[1], now=1.0)
+        h.load(0, addrs[2], now=2.0)  # dirty line now only in L2
+        wrote, _ = h.flush_line(addrs[0], now=3.0, invalidate=True)
+        assert wrote
+        assert mem.persisted(addrs[0]) == 4.0
+
+
+class TestCleanAll:
+    def test_clean_all_persists_everything_dirty(self):
+        h, mem, stats = make_hierarchy()
+        h.store(0, LINE, 1.0, now=0.0)
+        h.store(1, LINE * 2, 2.0, now=0.0)
+        written = h.clean_all(now=10.0)
+        assert written == 2
+        assert mem.persisted(LINE) == 1.0
+        assert mem.persisted(LINE * 2) == 2.0
+        assert h.dirty_line_addrs() == set()
+        # lines stay resident (clwb semantics)
+        assert h.l1s[0].contains(LINE)
+        assert stats.writes_by_cause.get("cleaner") == 2
+
+    def test_clean_all_idempotent(self):
+        h, _, stats = make_hierarchy()
+        h.store(0, LINE, 1.0, now=0.0)
+        h.clean_all(now=10.0)
+        assert h.clean_all(now=20.0) == 0
+        assert stats.nvmm_writes == 1
+
+
+class TestInvariants:
+    def test_single_writer_check(self):
+        h, _, _ = make_hierarchy()
+        h.store(0, LINE, 1.0, now=0.0)
+        h.store(1, LINE, 2.0, now=1.0)
+        h.check_single_writer()
+        h.check_inclusion()
+
+    def test_volatility_duration_recorded(self):
+        h, _, stats = make_hierarchy()
+        h.store(0, LINE, 1.0, now=100.0)
+        h.flush_line(LINE, now=350.0, invalidate=True)
+        assert stats.volatility_samples == 1
+        # 350 - 100 plus the flush transit to the MC
+        expected = 250.0 + h.config.flush_transit_cycles
+        assert stats.max_volatility_cycles == expected

@@ -1,0 +1,100 @@
+"""Multi-core coherence scenarios beyond the two-core basics."""
+
+from repro.sim.cache import State
+from repro.sim.coherence import Hierarchy
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.nvmm import MemoryController
+from repro.sim.stats import MachineStats
+from repro.sim.valuestore import MemoryState
+
+LINE = 64
+
+
+def make_hierarchy(num_cores=4):
+    cfg = MachineConfig(
+        num_cores=num_cores,
+        l1=CacheConfig(512, 2, hit_cycles=2.0),
+        l2=CacheConfig(2048, 2, hit_cycles=11.0),
+    )
+    mem = MemoryState()
+    stats = MachineStats().for_cores(num_cores)
+    mc = MemoryController(cfg.nvmm, mem, stats)
+    h = Hierarchy(cfg, mem, stats, mc)
+    for addr in range(LINE, LINE * 64, 8):
+        mem.init(addr, 0.0)
+    return h, mem, stats
+
+
+class TestOwnershipChains:
+    def test_migratory_sharing(self):
+        """M ownership migrates 0 -> 1 -> 2 -> 3; one M copy at a time."""
+        h, mem, _ = make_hierarchy()
+        for cid in range(4):
+            h.store(cid, LINE, float(cid), now=float(cid))
+            h.check_single_writer()
+            h.check_inclusion()
+        # only the last writer holds the line
+        assert h.l1s[3].get(LINE).state is State.MODIFIED
+        for cid in range(3):
+            assert not h.l1s[cid].contains(LINE)
+        assert mem.load(LINE) == 3.0
+
+    def test_dirty_since_survives_migration(self):
+        """The un-persisted-data obligation keeps its original age."""
+        h, _, stats = make_hierarchy()
+        h.store(0, LINE, 1.0, now=10.0)
+        h.store(1, LINE, 2.0, now=500.0)
+        h.store(2, LINE, 3.0, now=900.0)
+        h.flush_line(LINE, now=1000.0, invalidate=True)
+        # volatility measured from the FIRST dirtying store at t=10
+        assert stats.max_volatility_cycles >= 990.0
+
+    def test_wide_read_sharing_then_write(self):
+        """All cores share; one writes; everyone else is invalidated."""
+        h, _, _ = make_hierarchy()
+        for cid in range(4):
+            h.load(cid, LINE, now=float(cid))
+        for cid in range(4):
+            assert h.l1s[cid].get(LINE).state is State.SHARED
+        h.store(2, LINE, 7.0, now=10.0)
+        assert h.l1s[2].get(LINE).state is State.MODIFIED
+        for cid in (0, 1, 3):
+            assert not h.l1s[cid].contains(LINE)
+        h.check_single_writer()
+
+    def test_read_after_remote_write_chain(self):
+        h, mem, _ = make_hierarchy()
+        h.store(0, LINE, 5.0, now=0.0)
+        acc = h.load(3, LINE, now=1.0)
+        assert not acc.l1_hit
+        assert mem.load(LINE) == 5.0
+        # both ended shared, L2 holds the dirty merge
+        assert h.l1s[0].get(LINE).state is State.SHARED
+        assert h.l1s[3].get(LINE).state is State.SHARED
+        assert h.l2.get(LINE).dirty
+
+
+class TestEvictionUnderSharing:
+    def test_l2_eviction_invalidates_all_sharers(self):
+        h, _, _ = make_hierarchy()
+        l2_stride = h.l2.config.num_sets * LINE
+        target = LINE
+        for cid in range(4):
+            h.load(cid, target, now=float(cid))
+        # force target's set to overflow in L2
+        h.load(0, target + l2_stride, now=10.0)
+        h.load(0, target + 2 * l2_stride, now=11.0)
+        assert not h.l2.contains(target)
+        for cid in range(4):
+            assert not h.l1s[cid].contains(target)
+        h.check_inclusion()
+
+    def test_shared_dirty_l2_eviction_persists_once(self):
+        h, mem, stats = make_hierarchy()
+        l2_stride = h.l2.config.num_sets * LINE
+        h.store(0, LINE, 9.0, now=0.0)
+        h.load(1, LINE, now=1.0)  # downgrade; dirty merges into L2
+        h.load(2, LINE + l2_stride, now=2.0)
+        h.load(2, LINE + 2 * l2_stride, now=3.0)  # evicts the dirty line
+        assert mem.persisted(LINE) == 9.0
+        assert stats.writes_by_cause.get("eviction") == 1

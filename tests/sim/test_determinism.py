@@ -1,0 +1,74 @@
+"""Determinism guarantees of the simulator.
+
+Reproducibility is a design requirement (DESIGN.md): identical
+configurations must give bit-identical metrics, and the architectural
+outcome of a data-race-free workload must not depend on thread count.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_variant
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.workloads.tmm import TiledMatMul
+from repro.workloads.fft import FFT
+
+
+def config(cores=3):
+    return MachineConfig(
+        num_cores=cores,
+        l1=CacheConfig(1024, 2, hit_cycles=2.0),
+        l2=CacheConfig(4096, 4, hit_cycles=11.0),
+    )
+
+
+class TestBitIdenticalReruns:
+    @pytest.mark.parametrize("variant", ["base", "lp", "ep", "wal"])
+    def test_tmm_metrics_identical(self, variant):
+        def run():
+            r = run_variant(
+                TiledMatMul(n=16, bsize=8), config(), variant, num_threads=2
+            )
+            return (
+                r.exec_cycles,
+                r.nvmm_writes,
+                r.l2_miss_rate,
+                tuple(sorted(r.hazards.items())),
+                tuple(sorted(r.writes_by_cause.items())),
+            )
+
+        assert run() == run()
+
+    def test_fft_metrics_identical(self):
+        def run():
+            r = run_variant(FFT(n=64), config(), "lp", num_threads=2)
+            return r.exec_cycles, r.nvmm_writes
+
+        assert run() == run()
+
+
+class TestThreadCountIndependence:
+    """The *values* computed must not depend on the thread count (the
+    timing of course does)."""
+
+    @pytest.mark.parametrize("threads", [1, 2, 3])
+    def test_tmm_output_invariant(self, threads):
+        from repro.sim.machine import Machine
+
+        wl = TiledMatMul(n=16, bsize=8)
+        m = Machine(config(cores=max(threads, 2)))
+        bound = wl.bind(m, num_threads=threads)
+        m.run(bound.threads("lp"))
+        assert bound.verify()
+
+    def test_fft_output_invariant_across_threads(self):
+        import numpy as np
+        from repro.sim.machine import Machine
+
+        outputs = []
+        for threads in (1, 2):
+            wl = FFT(n=64)
+            m = Machine(config())
+            bound = wl.bind(m, num_threads=threads)
+            m.run(bound.threads("lp"))
+            outputs.append(bound.output())
+        assert np.array_equal(outputs[0], outputs[1])

@@ -1,0 +1,96 @@
+"""Corner cases of the flush paths (clflushopt / clwb semantics)."""
+
+from repro.sim.cache import State
+from repro.sim.coherence import Hierarchy
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.nvmm import MemoryController
+from repro.sim.stats import MachineStats
+from repro.sim.valuestore import MemoryState
+
+LINE = 64
+
+
+def make_hierarchy(num_cores=3):
+    cfg = MachineConfig(
+        num_cores=num_cores,
+        l1=CacheConfig(512, 2, hit_cycles=2.0),
+        l2=CacheConfig(2048, 2, hit_cycles=11.0),
+    )
+    mem = MemoryState()
+    stats = MachineStats().for_cores(num_cores)
+    mc = MemoryController(cfg.nvmm, mem, stats)
+    h = Hierarchy(cfg, mem, stats, mc)
+    for addr in range(LINE, LINE * 32, 8):
+        mem.init(addr, 0.0)
+    return h, mem, stats
+
+
+class TestFlushRemoteOwnership:
+    def test_flush_line_owned_by_other_core(self):
+        """clflushopt reaches dirty data wherever it lives."""
+        h, mem, _ = make_hierarchy()
+        h.store(2, LINE, 7.0, now=0.0)
+        wrote, _ = h.flush_line(LINE, now=5.0, invalidate=True)
+        assert wrote
+        assert mem.persisted(LINE) == 7.0
+        assert not h.l1s[2].contains(LINE)
+
+    def test_clwb_remote_owner_stays_resident_clean(self):
+        h, mem, _ = make_hierarchy()
+        h.store(1, LINE, 3.0, now=0.0)
+        wrote, _ = h.flush_line(LINE, now=5.0, invalidate=False)
+        assert wrote
+        line = h.l1s[1].get(LINE)
+        assert line is not None and line.state is State.EXCLUSIVE
+        assert line.dirty_since is None
+        # a later store must re-dirty with a fresh timestamp
+        h.store(1, LINE, 4.0, now=100.0)
+        assert h.l1s[1].get(LINE).dirty_since == 100.0
+
+    def test_flush_shared_clean_line_invalidates_everyone(self):
+        h, _, stats = make_hierarchy()
+        for cid in range(3):
+            h.load(cid, LINE, now=float(cid))
+        wrote, _ = h.flush_line(LINE, now=5.0, invalidate=True)
+        assert not wrote  # clean: no NVMM write
+        for cid in range(3):
+            assert not h.l1s[cid].contains(LINE)
+        assert not h.l2.contains(LINE)
+
+    def test_double_flush_writes_once(self):
+        h, _, stats = make_hierarchy()
+        h.store(0, LINE, 1.0, now=0.0)
+        h.flush_line(LINE, now=1.0, invalidate=False)
+        wrote, _ = h.flush_line(LINE, now=2.0, invalidate=False)
+        assert not wrote  # already clean
+        assert stats.nvmm_writes == 1
+
+
+class TestDirtyL2Flush:
+    def test_flush_after_downgrade_merges_once(self):
+        """Store on core 0, read on core 1 (merge to L2), then flush:
+        exactly one NVMM write with the original dirty timestamp."""
+        h, mem, stats = make_hierarchy()
+        h.store(0, LINE, 9.0, now=10.0)
+        h.load(1, LINE, now=20.0)
+        wrote, _ = h.flush_line(LINE, now=30.0, invalidate=True)
+        assert wrote
+        assert stats.nvmm_writes == 1
+        assert mem.persisted(LINE) == 9.0
+        # volatility measured from the store at t=10
+        assert stats.max_volatility_cycles >= 20.0
+
+
+class TestCleanAllMixedStates:
+    def test_clean_all_covers_l1_and_l2_dirty(self):
+        h, mem, _ = make_hierarchy()
+        # dirty in L1 (M) on core 0
+        h.store(0, LINE, 1.0, now=0.0)
+        # dirty only in L2: store then downgrade via remote read
+        h.store(1, LINE * 2, 2.0, now=1.0)
+        h.load(2, LINE * 2, now=2.0)
+        written = h.clean_all(now=50.0)
+        assert written == 2
+        assert mem.persisted(LINE) == 1.0
+        assert mem.persisted(LINE * 2) == 2.0
+        assert h.dirty_line_addrs() == set()

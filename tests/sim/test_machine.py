@@ -1,0 +1,187 @@
+"""Unit tests for the Machine scheduler and run lifecycle."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.isa import Compute, Fence, Load, RegionMark, Store
+from repro.sim.machine import Machine
+
+
+def tiny_machine(num_cores=2):
+    return Machine(
+        MachineConfig(
+            num_cores=num_cores,
+            l1=CacheConfig(512, 2, hit_cycles=2.0),
+            l2=CacheConfig(2048, 2, hit_cycles=11.0),
+        )
+    )
+
+
+def incrementer(region, lo, hi, delta=1.0):
+    for i in range(lo, hi):
+        v = yield Load(region.addr(i))
+        yield Compute(1)
+        yield Store(region.addr(i), v + delta)
+
+
+class TestAllocation:
+    def test_alloc_initialises_durably(self):
+        m = tiny_machine()
+        r = m.alloc("a", 4)
+        assert m.read_region(r) == [0.0] * 4
+        assert m.read_region(r, persistent=True) == [0.0] * 4
+
+    def test_alloc_init_values(self):
+        m = tiny_machine()
+        r = m.alloc_init("a", [1.0, 2.0, 3.0])
+        assert m.read_region(r) == [1.0, 2.0, 3.0]
+
+    def test_scalar(self):
+        m = tiny_machine()
+        s = m.scalar("counter", -1.0)
+        assert m.arch_value(s.base) == -1.0
+
+    def test_region_lookup(self):
+        m = tiny_machine()
+        r = m.alloc("a", 4)
+        assert m.region("a") == r
+
+
+class TestRun:
+    def test_single_thread_completes(self):
+        m = tiny_machine()
+        r = m.alloc("a", 8)
+        result = m.run([incrementer(r, 0, 8)])
+        assert not result.crashed
+        assert result.finished_threads == 1
+        assert m.read_region(r) == [1.0] * 8
+        assert result.exec_cycles > 0
+
+    def test_two_threads_interleave(self):
+        m = tiny_machine()
+        r = m.alloc("a", 16)
+        result = m.run([incrementer(r, 0, 8), incrementer(r, 8, 16)])
+        assert result.finished_threads == 2
+        assert m.read_region(r) == [1.0] * 16
+
+    def test_exec_cycles_is_max_over_cores(self):
+        m = tiny_machine()
+        r = m.alloc("a", 16)
+        result = m.run([incrementer(r, 0, 8), incrementer(r, 8, 16)])
+        per_core = [c.cycles for c in result.stats.per_core[:2]]
+        assert result.exec_cycles == max(per_core)
+
+    def test_determinism(self):
+        def run_once():
+            m = tiny_machine()
+            r = m.alloc("a", 16)
+            res = m.run([incrementer(r, 0, 8), incrementer(r, 8, 16)])
+            return res.exec_cycles, res.stats.nvmm_writes, res.ops_executed
+
+        assert run_once() == run_once()
+
+    def test_too_many_threads_rejected(self):
+        m = tiny_machine(num_cores=1)
+        r = m.alloc("a", 4)
+        with pytest.raises(ConfigError):
+            m.run([incrementer(r, 0, 2), incrementer(r, 2, 4)])
+
+    def test_no_threads_rejected(self):
+        m = tiny_machine()
+        with pytest.raises(ConfigError):
+            m.run([])
+
+    def test_op_limit_stops_early(self):
+        m = tiny_machine()
+        r = m.alloc("a", 64)
+        result = m.run([incrementer(r, 0, 64)], op_limit=10)
+        assert result.ops_executed == 10
+        assert not result.crashed
+
+
+class TestCrashTriggers:
+    def test_crash_at_op(self):
+        m = tiny_machine()
+        r = m.alloc("a", 64)
+        result = m.run([incrementer(r, 0, 64)], crash_at_op=15)
+        assert result.crashed
+        assert result.ops_executed == 15
+
+    def test_crash_at_mark(self):
+        def marked(region):
+            for i in range(8):
+                yield Store(region.addr(i), 1.0)
+                yield RegionMark(f"r{i}")
+
+        m = tiny_machine()
+        r = m.alloc("a", 8)
+        result = m.run([marked(r)], crash_at_mark=3)
+        assert result.crashed
+        assert result.region_marks == 3
+
+    def test_crash_at_cycle(self):
+        m = tiny_machine()
+        r = m.alloc("a", 64)
+        result = m.run([incrementer(r, 0, 64)], crash_at_cycle=500.0)
+        assert result.crashed
+
+    def test_on_mark_callback(self):
+        seen = []
+
+        def marked():
+            yield RegionMark("hello")
+
+        m = tiny_machine()
+        m.on_mark = lambda mark, cid, clock: seen.append((mark.label, cid))
+        m.run([marked()])
+        assert seen == [("hello", 0)]
+
+
+class TestCrashSemantics:
+    def test_after_crash_loses_cached_stores(self):
+        m = tiny_machine()
+        r = m.alloc("a", 8)  # one line: stays cached, never evicted
+        result = m.run([incrementer(r, 0, 8)], crash_at_op=23)
+        assert result.crashed
+        post = m.after_crash()
+        assert post.read_region(r) == [0.0] * 8
+
+    def test_after_crash_keeps_drained_data(self):
+        m = tiny_machine()
+        r = m.alloc("a", 8)
+        m.run([incrementer(r, 0, 8)])
+        m.drain()
+        post = m.after_crash()
+        assert post.read_region(r) == [1.0] * 8
+
+    def test_after_crash_shares_allocator(self):
+        m = tiny_machine()
+        r = m.alloc("a", 8)
+        post = m.after_crash()
+        assert post.region("a") == r
+
+    def test_post_crash_machine_runs(self):
+        m = tiny_machine()
+        r = m.alloc("a", 8)
+        m.run([incrementer(r, 0, 8)], crash_at_op=10)
+        post = m.after_crash()
+        res = post.run([incrementer(r, 0, 8, delta=2.0)])
+        assert res.finished_threads == 1
+
+
+class TestDrain:
+    def test_drain_persists_everything(self):
+        m = tiny_machine()
+        r = m.alloc("a", 8)
+        m.run([incrementer(r, 0, 8)])
+        assert m.read_region(r, persistent=True) == [0.0] * 8
+        m.drain()
+        assert m.read_region(r, persistent=True) == [1.0] * 8
+
+    def test_drain_counts_writes(self):
+        m = tiny_machine()
+        r = m.alloc("a", 8)
+        m.run([incrementer(r, 0, 8)])
+        m.drain()
+        assert m.stats.writes_by_cause.get("drain", 0) >= 1

@@ -1,0 +1,88 @@
+"""Machine lifecycle edge cases: sequential runs, error propagation."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.isa import Compute, Load, Store
+from repro.sim.machine import Machine
+
+
+def machine(cores=2):
+    return Machine(
+        MachineConfig(
+            num_cores=cores,
+            l1=CacheConfig(512, 2, hit_cycles=2.0),
+            l2=CacheConfig(2048, 2, hit_cycles=11.0),
+        )
+    )
+
+
+class TestSequentialRuns:
+    def test_two_phases_accumulate(self):
+        """Running a second batch of threads continues clocks and stats
+        (this is how recovery reuses the post-crash machine)."""
+        m = machine()
+        r = m.alloc("a", 8)
+
+        def phase(value):
+            for i in range(8):
+                yield Store(r.addr(i), value)
+            yield Compute(4)
+
+        res1 = m.run([phase(1.0)])
+        ops1 = res1.ops_executed
+        res2 = m.run([phase(2.0)])
+        assert res2.ops_executed == ops1  # per-run count
+        assert m.read_region(r) == [2.0] * 8
+        # clocks continued, not reset
+        assert m.cores[0].clock > 0
+        assert m.stats.per_core[0].ops == 2 * ops1
+
+    def test_warm_cache_carries_over(self):
+        m = machine()
+        r = m.alloc("a", 8)
+
+        def reader():
+            for i in range(8):
+                yield Load(r.addr(i))
+
+        m.run([reader()])
+        misses_first = m.stats.per_core[0].l1_misses
+        m.run([reader()])
+        assert m.stats.per_core[0].l1_misses == misses_first  # all hits now
+
+
+class TestErrorPropagation:
+    def test_load_from_unallocated_raises(self):
+        m = machine()
+
+        def bad():
+            yield Load(1 << 20)
+
+        with pytest.raises(AddressError):
+            m.run([bad()])
+
+    def test_unaligned_store_raises(self):
+        m = machine()
+
+        def bad():
+            yield Store(65, 1.0)
+
+        with pytest.raises(AddressError):
+            m.run([bad()])
+
+
+class TestThreadAssignment:
+    def test_threads_map_to_cores_in_order(self):
+        m = machine(cores=3)
+        r = m.alloc("a", 4)
+        seen = []
+
+        def t(tag):
+            yield Store(r.addr(tag), float(tag))
+            seen.append(tag)
+
+        m.run([t(0), t(1), t(2)])
+        # each thread ran on its own core: all three have ops
+        assert all(m.stats.per_core[i].ops > 0 for i in range(3))

@@ -1,0 +1,40 @@
+"""Unit tests for the bounded completion-time queues."""
+
+from repro.sim.queues import BoundedQueue
+
+
+class TestBoundedQueue:
+    def test_empty_is_not_full(self):
+        q = BoundedQueue(2, "q")
+        assert not q.full(0.0)
+        assert q.earliest_free(0.0) == 0.0
+        assert q.drain_time(0.0) == 0.0
+
+    def test_fills_and_frees(self):
+        q = BoundedQueue(2, "q")
+        q.push(10.0)
+        q.push(20.0)
+        assert q.full(5.0)
+        assert q.earliest_free(5.0) == 10.0
+        # at t=10 the first entry has completed
+        assert not q.full(10.0)
+
+    def test_prune_drops_completed(self):
+        q = BoundedQueue(4, "q")
+        q.push(1.0)
+        q.push(2.0)
+        q.push(3.0)
+        assert q.occupancy(2.0) == 1
+
+    def test_drain_time_is_latest_completion(self):
+        q = BoundedQueue(4, "q")
+        q.push(5.0)
+        q.push(15.0)
+        assert q.drain_time(0.0) == 15.0
+        assert q.drain_time(15.0) == 15.0  # entries at t complete at t
+
+    def test_clear(self):
+        q = BoundedQueue(2, "q")
+        q.push(100.0)
+        q.clear()
+        assert q.occupancy(0.0) == 0

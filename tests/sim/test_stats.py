@@ -1,0 +1,90 @@
+"""Unit tests for the statistics aggregation."""
+
+from repro.sim.stats import CoreStats, MachineStats
+
+
+class TestDerivedMetrics:
+    def test_exec_cycles_is_max(self):
+        s = MachineStats().for_cores(3)
+        s.per_core[0].cycles = 10.0
+        s.per_core[1].cycles = 99.0
+        s.per_core[2].cycles = 50.0
+        assert s.exec_cycles == 99.0
+
+    def test_empty_exec_cycles(self):
+        assert MachineStats().exec_cycles == 0.0
+
+    def test_l2_miss_rate(self):
+        s = MachineStats()
+        s.l2_accesses = 200
+        s.l2_misses = 30
+        assert s.l2_miss_rate == 0.15
+
+    def test_l2_miss_rate_no_accesses(self):
+        assert MachineStats().l2_miss_rate == 0.0
+
+    def test_hazard_totals_sum_cores(self):
+        s = MachineStats().for_cores(2)
+        s.per_core[0].mshr_full_events = 3
+        s.per_core[1].mshr_full_events = 4
+        s.per_core[0].fu_int_events = 10
+        assert s.hazard_totals() == {"mshr": 7, "fui": 10, "fur": 0, "fuw": 0}
+
+    def test_total_ops(self):
+        s = MachineStats().for_cores(2)
+        s.per_core[0].ops = 5
+        s.per_core[1].ops = 6
+        assert s.total_ops == 11
+
+
+class TestWriteAccounting:
+    def test_count_write_by_cause(self):
+        s = MachineStats()
+        s.count_write("flush", line_addr=64)
+        s.count_write("flush", line_addr=64)
+        s.count_write("eviction", line_addr=128)
+        assert s.nvmm_writes == 3
+        assert s.writes_by_cause == {"flush": 2, "eviction": 1}
+        assert s.writes_per_line == {64: 2, 128: 1}
+        assert s.max_line_writes == 2
+
+    def test_count_write_without_line(self):
+        s = MachineStats()
+        s.count_write("drain")
+        assert s.nvmm_writes == 1
+        assert s.max_line_writes == 0
+
+
+class TestVolatility:
+    def test_record(self):
+        s = MachineStats()
+        s.record_volatility(100.0)
+        s.record_volatility(300.0)
+        assert s.max_volatility_cycles == 300.0
+        assert s.mean_volatility_cycles == 200.0
+        assert s.volatility_samples == 2
+
+    def test_negative_clamped(self):
+        s = MachineStats()
+        s.record_volatility(-5.0)
+        assert s.max_volatility_cycles == 0.0
+
+    def test_empty_mean(self):
+        assert MachineStats().mean_volatility_cycles == 0.0
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        s = MachineStats().for_cores(1)
+        summary = s.summary()
+        for key in (
+            "exec_cycles",
+            "nvmm_writes",
+            "l2_miss_rate",
+            "max_volatility_cycles",
+            "mshr_full",
+            "fui",
+            "fur",
+            "fuw",
+        ):
+            assert key in summary

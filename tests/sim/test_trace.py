@@ -1,0 +1,49 @@
+"""Unit tests for op tracing."""
+
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.isa import Compute, Load, Store
+from repro.sim.machine import Machine
+from repro.sim.trace import Trace, traced
+
+
+def tiny_machine():
+    return Machine(
+        MachineConfig(
+            num_cores=1,
+            l1=CacheConfig(512, 2, hit_cycles=2.0),
+            l2=CacheConfig(2048, 2, hit_cycles=11.0),
+        )
+    )
+
+
+def kernel(region):
+    v = yield Load(region.addr(0))
+    yield Compute(2)
+    yield Store(region.addr(1), v + 1.0)
+
+
+class TestTrace:
+    def test_records_all_ops(self):
+        m = tiny_machine()
+        r = m.alloc_init("a", [10.0, 0.0])
+        trace = Trace()
+        m.run([traced(kernel(r), trace)])
+        assert len(trace) == 3
+        assert trace.count(Load) == 1
+        assert trace.count(Store) == 1
+        assert trace.count(Compute) == 1
+
+    def test_records_load_results(self):
+        m = tiny_machine()
+        r = m.alloc_init("a", [10.0, 0.0])
+        trace = Trace()
+        m.run([traced(kernel(r), trace)])
+        load_op, load_result = trace.events[0]
+        assert isinstance(load_op, Load)
+        assert load_result == 10.0
+
+    def test_passthrough_preserves_behaviour(self):
+        m = tiny_machine()
+        r = m.alloc_init("a", [10.0, 0.0])
+        m.run([traced(kernel(r), Trace())])
+        assert m.arch_value(r.addr(1)) == 11.0

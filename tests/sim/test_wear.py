@@ -1,0 +1,67 @@
+"""Tests for the per-line wear (endurance) statistics."""
+
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.isa import Fence, Flush, Store
+from repro.sim.machine import Machine
+
+
+def machine():
+    return Machine(
+        MachineConfig(
+            num_cores=1,
+            l1=CacheConfig(512, 2, hit_cycles=2.0),
+            l2=CacheConfig(2048, 2, hit_cycles=11.0),
+        )
+    )
+
+
+class TestWearStats:
+    def test_empty(self):
+        m = machine()
+        assert m.stats.max_line_writes == 0
+        assert m.stats.wear_percentile(99) == 0
+
+    def test_counts_per_line(self):
+        m = machine()
+        r = m.alloc("a", 8)  # one line
+
+        def kernel():
+            for i in range(5):
+                yield Store(r.addr(0), float(i))
+                yield Flush(r.addr(0))
+            yield Fence()
+
+        m.run([kernel()])
+        assert m.stats.max_line_writes == 5
+        assert m.stats.writes_per_line == {r.base: 5}
+
+    def test_coalesced_stores_wear_once(self):
+        m = machine()
+        r = m.alloc("a", 8)
+
+        def kernel():
+            for i in range(8):
+                yield Store(r.addr(i), 1.0)
+
+        m.run([kernel()])
+        m.drain()
+        assert m.stats.max_line_writes == 1
+
+    def test_percentiles_ordered(self):
+        m = machine()
+        r = m.alloc("a", 32)
+
+        def kernel():
+            # line 0 written 4x, others once
+            for rep in range(4):
+                yield Store(r.addr(0), float(rep))
+                yield Flush(r.addr(0))
+                yield Fence()
+            for i in range(8, 32):
+                yield Store(r.addr(i), 2.0)
+
+        m.run([kernel()])
+        m.drain()
+        assert m.stats.wear_percentile(50) <= m.stats.wear_percentile(99)
+        assert m.stats.wear_percentile(99) <= m.stats.max_line_writes
+        assert m.stats.max_line_writes == 4

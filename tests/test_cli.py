@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "tmm"])
+        assert args.variant == "lp"
+        assert args.machine == "scaled"
+        assert args.threads == 2
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "linpack"])
+
+    def test_crash_requires_at_op(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crash", "tmm"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tmm" in out and "modular" in out and "scaled" in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "tmm", "--threads", "2", "-p", "n=16", "-p", "bsize=8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exec_cycles" in out
+        assert "verified" in out
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "tmm", "--variants", "base,lp", "--threads", "2",
+             "-p", "n=16"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "lp" in out
+
+    def test_crash_recovers(self, capsys):
+        rc = main(
+            ["crash", "tmm", "--at-op", "2000", "--threads", "2", "-p", "n=16"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "output exact" in out
+
+    def test_sweep_checksum(self, capsys):
+        rc = main(["sweep", "checksum", "tmm", "--threads", "2", "-p", "n=16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "adler32" in out
+
+    def test_idempotence_command(self, capsys):
+        rc = main(["idempotence", "conv2d", "--threads", "1",
+                   "-p", "n=12", "-p", "row_block=2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "idempotent" in out
+
+    def test_sweep_cleaner(self, capsys):
+        rc = main(["sweep", "cleaner", "tmm", "--threads", "2", "-p", "n=16"])
+        assert rc == 0
+        assert "period" in capsys.readouterr().out
+
+    def test_bad_param_format(self):
+        with pytest.raises(SystemExit):
+            main(["run", "tmm", "-p", "nonsense"])
+
+    def test_param_types(self):
+        from repro.cli import _parse_params
+
+        params = _parse_params(["n=48", "granularity=ii", "eager_checksum=true"])
+        assert params == {
+            "n": 48,
+            "granularity": "ii",
+            "eager_checksum": True,
+        }

@@ -1,0 +1,66 @@
+"""Unit tests for the workload protocol module."""
+
+import numpy as np
+import pytest
+import random
+
+from repro.errors import WorkloadError
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads.base import integer_matrix
+from repro.workloads.tmm import TiledMatMul
+
+
+def machine():
+    return Machine(
+        MachineConfig(
+            num_cores=2,
+            l1=CacheConfig(1024, 2, hit_cycles=2.0),
+            l2=CacheConfig(4096, 4, hit_cycles=11.0),
+        )
+    )
+
+
+class TestIntegerMatrix:
+    def test_shape_and_range(self):
+        m = integer_matrix(random.Random(1), 5, 7, span=3)
+        assert m.shape == (5, 7)
+        assert np.all(np.abs(m) <= 3)
+        assert np.all(m == np.round(m))
+
+    def test_deterministic_given_seed(self):
+        a = integer_matrix(random.Random(42), 4, 4)
+        b = integer_matrix(random.Random(42), 4, 4)
+        assert np.array_equal(a, b)
+
+
+class TestBoundWorkload:
+    def test_zero_threads_rejected(self):
+        wl = TiledMatMul(n=16, bsize=8)
+        with pytest.raises(WorkloadError):
+            wl.bind(machine(), num_threads=0)
+
+    def test_verify_exact_by_default(self):
+        wl = TiledMatMul(n=16, bsize=8)
+        bound = wl.bind(machine(), num_threads=1)
+        # before running, c is all zeros: should not verify
+        assert not bound.verify()
+
+    def test_verification_error_metric(self):
+        wl = TiledMatMul(n=16, bsize=8)
+        bound = wl.bind(machine(), num_threads=1)
+        assert bound.verification_error() > 0.0
+        bound.machine.run(bound.threads("base"))
+        assert bound.verification_error() == 0.0
+
+    def test_verify_with_tolerance(self):
+        wl = TiledMatMul(n=16, bsize=8)
+        bound = wl.bind(machine(), num_threads=1)
+        bound.machine.run(bound.threads("base"))
+        assert bound.verify(atol=1e-9)
+
+    def test_check_variant(self):
+        wl = TiledMatMul(n=16, bsize=8)
+        wl.check_variant("lp")
+        with pytest.raises(WorkloadError):
+            wl.check_variant("bogus")

@@ -1,0 +1,83 @@
+"""Tests for the Cholesky factorisation workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.sim.crash import CrashPlan, run_with_crash
+from repro.sim.machine import Machine
+from repro.workloads.cholesky import Cholesky
+
+
+def machine(cores=3):
+    return Machine(
+        MachineConfig(
+            num_cores=cores,
+            l1=CacheConfig(1024, 2, hit_cycles=2.0),
+            l2=CacheConfig(4096, 4, hit_cycles=11.0),
+        )
+    )
+
+
+class TestSpec:
+    def test_divisibility(self):
+        with pytest.raises(WorkloadError):
+            Cholesky(n=18, col_block=4)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", ["base", "lp", "ep"])
+    @pytest.mark.parametrize("threads", [1, 2])
+    def test_exact(self, variant, threads):
+        wl = Cholesky(n=16, col_block=4)
+        m = machine()
+        bound = wl.bind(m, num_threads=threads)
+        m.run(bound.threads(variant))
+        assert bound.verify()
+
+    def test_factorisation_property(self):
+        """L @ L.T reconstructs the SPD input."""
+        wl = Cholesky(n=16, col_block=4)
+        m = machine()
+        bound = wl.bind(m, num_threads=2)
+        m.run(bound.threads("lp"))
+        l = np.tril(bound.output())
+        p = bound.pristine.to_numpy()
+        assert np.allclose(l @ l.T, p)
+
+    def test_matches_numpy_cholesky(self):
+        wl = Cholesky(n=16, col_block=4)
+        m = machine()
+        bound = wl.bind(m, num_threads=1)
+        m.run(bound.threads("base"))
+        want = np.linalg.cholesky(bound.pristine.to_numpy())
+        assert np.allclose(np.tril(bound.output()), want)
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("at_op", [10, 400, 1200, 1700])
+    def test_recovery_exact(self, at_op):
+        wl = Cholesky(n=16, col_block=4)
+        m = machine()
+        bound = wl.bind(m, num_threads=2)
+        res, post = run_with_crash(m, bound.threads("lp"), CrashPlan(at_op=at_op))
+        if not res.crashed:
+            pytest.skip("finished before crash point")
+        rb = wl.bind(post, num_threads=2, create=False)
+        post.run(rb.recovery_threads())
+        assert rb.verify()
+
+    def test_recovery_after_drain_repairs_nothing(self):
+        wl = Cholesky(n=16, col_block=4)
+        m = machine()
+        bound = wl.bind(m, num_threads=2)
+        m.run(bound.threads("lp"))
+        m.drain()
+        post = m.after_crash()
+        rb = wl.bind(post, num_threads=2, create=False)
+        marks = []
+        post.on_mark = lambda mark, cid, clock: marks.append(mark.label)
+        post.run(rb.recovery_threads())
+        assert not any("repair" in l for l in marks)
+        assert rb.verify()

@@ -1,0 +1,39 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import available_workloads, get_workload
+from repro.workloads.base import Workload
+
+
+class TestRegistry:
+    def test_all_table5_benchmarks_present(self):
+        assert available_workloads() == [
+            "cholesky",
+            "conv2d",
+            "fft",
+            "gauss",
+            "tmm",
+        ]
+
+    def test_lookup_returns_workload_class(self):
+        cls = get_workload("tmm")
+        assert issubclass(cls, Workload)
+        assert cls.name == "tmm"
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            get_workload("linpack")
+
+    def test_every_workload_has_lp_and_base(self):
+        for name in available_workloads():
+            cls = get_workload(name)
+            assert "base" in cls.variants
+            assert "lp" in cls.variants
+            assert "ep" in cls.variants
+
+    def test_only_tmm_has_wal(self):
+        for name in available_workloads():
+            cls = get_workload(name)
+            assert ("wal" in cls.variants) == (name == "tmm")
