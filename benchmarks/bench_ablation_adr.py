@@ -14,7 +14,7 @@ from repro.analysis.experiments import compare_variants
 from repro.analysis.reporting import format_table
 from repro.workloads.tmm import TiledMatMul
 
-from bench_common import NUM_THREADS, machine_config, record
+from bench_common import NUM_THREADS, engine_opts, machine_config, record
 
 
 def run_adr_ablation():
@@ -29,6 +29,7 @@ def run_adr_ablation():
             cfg,
             ["base", "lp", "ep", "wal"],
             num_threads=NUM_THREADS,
+            **engine_opts(),
         )
     return out
 

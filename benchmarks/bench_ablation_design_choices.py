@@ -13,17 +13,16 @@
 """
 
 from repro.analysis.crashlab import run_crash_campaign
-from repro.analysis.experiments import run_variant
 from repro.analysis.reporting import format_table
 from repro.sim.machine import Machine
 from repro.workloads.tmm import TiledMatMul
 
-from bench_common import NUM_THREADS, machine_config, record
+from bench_common import NUM_THREADS, bench_run, machine_config, record
 
 
 def run_design_ablation():
     cfg = machine_config()
-    base = run_variant(
+    base = bench_run(
         TiledMatMul(n=96, bsize=8, kk_tiles=2), cfg, "base",
         num_threads=NUM_THREADS,
     )
@@ -37,7 +36,7 @@ def run_design_ablation():
         ),
     }
     timings = {
-        name: run_variant(wl, cfg, "lp", num_threads=NUM_THREADS)
+        name: bench_run(wl, cfg, "lp", num_threads=NUM_THREADS)
         for name, wl in variants.items()
     }
     # footprints

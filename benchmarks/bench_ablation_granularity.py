@@ -8,11 +8,10 @@ recovery work after the same mid-run crash.
 """
 
 from repro.analysis.crashlab import run_crash_campaign
-from repro.analysis.experiments import run_variant
 from repro.analysis.reporting import format_table
 from repro.workloads.tmm import TiledMatMul
 
-from bench_common import NUM_THREADS, machine_config, record
+from bench_common import NUM_THREADS, bench_run, machine_config, record
 
 GRANULARITIES = ["jj", "ii", "kk"]
 CRASH_POINT = 120_000
@@ -20,13 +19,13 @@ CRASH_POINT = 120_000
 
 def run_granularity_ablation():
     cfg = machine_config()
-    base = run_variant(
+    base = bench_run(
         TiledMatMul(n=96, bsize=8, kk_tiles=2), cfg, "base",
         num_threads=NUM_THREADS,
     )
     out = {}
     for gran in GRANULARITIES:
-        timing = run_variant(
+        timing = bench_run(
             TiledMatMul(n=96, bsize=8, kk_tiles=2, granularity=gran),
             cfg,
             "lp",

@@ -10,9 +10,7 @@ log status word, and LP's natural evictions spread writes like the
 non-persistent base.
 """
 
-from repro.analysis.experiments import compare_variants
 from repro.analysis.reporting import format_table
-from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
 from repro.workloads.tmm import TiledMatMul
 

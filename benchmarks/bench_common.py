@@ -8,22 +8,42 @@ Problem sizes are the scaled defaults recorded in EXPERIMENTS.md.
 Each bench prints a paper-vs-measured table and appends it to
 ``benchmarks/results/<bench>.txt`` so the numbers survive the pytest
 run for EXPERIMENTS.md.
+
+All benches submit their experiment points through the parallel
+engine (:mod:`repro.analysis.runner`), controlled by environment
+knobs:
+
+* ``REPRO_JOBS=N``   — simulate independent points on N processes.
+* ``REPRO_SMOKE=1``  — tiny problem sizes + 2 threads, for CI smoke
+  runs (committed result files must NOT be regenerated in this mode;
+  shape assertions are relaxed where the scaled-down physics differs).
+* ``REPRO_NO_CACHE=1`` — disable the on-disk result cache.
+* ``REPRO_CACHE_DIR`` — cache location (default ``benchmarks/.cache``,
+  which is gitignored).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.config import MachineConfig, scaled_machine
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.runner import Job, ResultCache, run_jobs
+from repro.sim.config import CacheConfig, MachineConfig, scaled_machine
 from repro.workloads.base import Workload
 from repro.workloads.registry import get_workload
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: CI smoke mode: tiny inputs, 2 threads, relaxed shape assertions.
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
+
+#: Parallel fan-out for the experiment engine (1 = serial fallback).
+N_JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+
 #: Paper-default thread setup: 8 workers + 1 master core.
-NUM_THREADS = 8
-NUM_CORES = 9
+NUM_THREADS = 2 if SMOKE else 8
+NUM_CORES = NUM_THREADS + 1
 
 #: Scaled problem sizes (paper sizes are 1k-4k square / 100k points;
 #: see DESIGN.md section 1 for the scaling rationale).  ``tmm`` uses the
@@ -32,27 +52,68 @@ NUM_CORES = 9
 #: L2 (48KB) the way the paper's 1k-4k-square inputs overflow 512KB —
 #: the base runs must have natural evictions for write-amplification
 #: ratios to mean what the paper's do.
-WORKLOAD_SPECS: Dict[str, dict] = {
-    "tmm": dict(n=96, bsize=8, kk_tiles=2),
-    "cholesky": dict(n=104, col_block=8),
-    "conv2d": dict(n=66, ksize=3, row_block=8),
-    "gauss": dict(n=96, row_block=8, pivots=8),
-    "fft": dict(n=2048),
-}
+WORKLOAD_SPECS: Dict[str, dict] = (
+    {
+        # Smoke sizes: just big enough that every variant still runs
+        # its full code path (regions, checksums, recovery metadata).
+        "tmm": dict(n=24, bsize=8),
+        "cholesky": dict(n=24, col_block=8),
+        "conv2d": dict(n=18, ksize=3, row_block=8),
+        "gauss": dict(n=24, row_block=8, pivots=4),
+        "fft": dict(n=256),
+    }
+    if SMOKE
+    else {
+        "tmm": dict(n=96, bsize=8, kk_tiles=2),
+        "cholesky": dict(n=104, col_block=8),
+        "conv2d": dict(n=66, ksize=3, row_block=8),
+        "gauss": dict(n=96, row_block=8, pivots=8),
+        "fft": dict(n=2048),
+    }
+)
+
+#: Shared on-disk result cache for every bench (content-addressed, so
+#: a re-run of the figure suite after an unrelated edit is all hits).
+CACHE: Optional[ResultCache] = (
+    None
+    if os.environ.get("REPRO_NO_CACHE", "") == "1"
+    else ResultCache(
+        os.environ.get("REPRO_CACHE_DIR")
+        or os.path.join(os.path.dirname(__file__), ".cache")
+    )
+)
 
 #: Memoized (workload, variant) -> ExperimentResult runs shared between
 #: benches (Figures 12 and 13 report two metrics of the same runs, as
 #: the paper's figures do).
-_RESULT_CACHE: Dict[tuple, object] = {}
+_RESULT_CACHE: Dict[tuple, ExperimentResult] = {}
 
 
-def cached_run(name: str, variant: str):
+def engine_opts() -> dict:
+    """Keyword args every sweep/compare call forwards to the engine."""
+    return dict(n_jobs=N_JOBS, cache=CACHE)
+
+
+def run_batch(jobs: Sequence[Job]) -> List[ExperimentResult]:
+    """Fan a list of runner Jobs out through the shared engine config."""
+    return run_jobs(jobs, n_jobs=N_JOBS, cache=CACHE)
+
+
+def bench_run(
+    workload: Workload, config: MachineConfig, variant: str, **kwargs
+) -> ExperimentResult:
+    """One ``run_variant`` point through the shared on-disk cache."""
+    (result,) = run_jobs(
+        [Job(workload, config, variant, **kwargs)], n_jobs=1, cache=CACHE
+    )
+    return result
+
+
+def cached_run(name: str, variant: str) -> ExperimentResult:
     """Run (or reuse) one workload/variant at the shared bench config."""
-    from repro.analysis.experiments import run_variant
-
     key = (name, variant)
     if key not in _RESULT_CACHE:
-        _RESULT_CACHE[key] = run_variant(
+        _RESULT_CACHE[key] = bench_run(
             make_workload(name),
             machine_config(),
             variant,
@@ -62,11 +123,45 @@ def cached_run(name: str, variant: str):
     return _RESULT_CACHE[key]
 
 
+def cached_runs(
+    pairs: Sequence[Tuple[str, str]],
+) -> Dict[Tuple[str, str], ExperimentResult]:
+    """Batch form of :func:`cached_run`: all misses go to the engine as
+    one parallel submission, then individual ``cached_run`` calls are
+    free."""
+    misses = [key for key in pairs if key not in _RESULT_CACHE]
+    if misses:
+        results = run_batch(
+            [
+                Job(
+                    make_workload(name),
+                    machine_config(),
+                    variant,
+                    num_threads=NUM_THREADS,
+                    drain=True,
+                )
+                for name, variant in misses
+            ]
+        )
+        _RESULT_CACHE.update(zip(misses, results))
+    return {key: _RESULT_CACHE[key] for key in pairs}
+
+
 def make_workload(name: str) -> Workload:
     return get_workload(name)(**WORKLOAD_SPECS[name])
 
 
 def machine_config(num_cores: int = NUM_CORES) -> MachineConfig:
+    if SMOKE:
+        # Caches shrunk in proportion to the smoke inputs, for the
+        # same reason scaled_machine shrinks the paper's: the write
+        # set must overflow the L2 or the base runs have no natural
+        # evictions and write ratios degenerate to 0/0.
+        return MachineConfig(
+            num_cores=num_cores,
+            l1=CacheConfig(1024, 2, hit_cycles=2.0),
+            l2=CacheConfig(8 * 1024, 8, hit_cycles=11.0),
+        )
     return scaled_machine(num_cores=num_cores)
 
 
@@ -74,10 +169,14 @@ def record(bench_name: str, text: str, data=None) -> None:
     """Print a results table and persist it under benchmarks/results/.
 
     ``data`` (any JSON-serialisable object) is additionally written to
-    ``<bench>.json`` for machine consumption.
+    ``<bench>.json`` for machine consumption.  Smoke-mode runs print
+    only: the committed result files document the full-size runs.
     """
     import json
 
+    if SMOKE:
+        print(f"\n{text}\n[REPRO_SMOKE=1: not persisted to {RESULTS_DIR}]")
+        return
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{bench_name}.txt")
     with open(path, "w") as fh:

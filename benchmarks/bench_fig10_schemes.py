@@ -7,7 +7,14 @@ Paper values: LP 1.002 / 1.003, EP 1.12 / 1.36, WAL 5.97 / 3.83.
 from repro.analysis.experiments import compare_variants
 from repro.analysis.reporting import format_table
 
-from bench_common import NUM_THREADS, machine_config, make_workload, record
+from bench_common import (
+    NUM_THREADS,
+    SMOKE,
+    engine_opts,
+    machine_config,
+    make_workload,
+    record,
+)
 
 PAPER = {
     "base": (1.00, 1.00),
@@ -23,6 +30,7 @@ def run_fig10():
         machine_config(),
         ["base", "lp", "ep", "wal"],
         num_threads=NUM_THREADS,
+        **engine_opts(),
     )
     base = results["base"]
     rows = []
@@ -52,7 +60,14 @@ def test_fig10_schemes(benchmark):
         ),
     )
     lookup = {r[0]: r for r in rows}
-    # shape assertions: who wins, by roughly what factor
+    # shape assertions: who wins, by roughly what factor.  Smoke-size
+    # inputs exaggerate every fixed overhead, so smoke runs only check
+    # the ordering, not the paper's magnitudes.
+    if SMOKE:
+        assert lookup["tmm+LP"][2] < lookup["tmm+EP"][2], "LP beats EP"
+        assert lookup["tmm+EP"][2] < lookup["tmm+WAL"][2], "EP beats WAL"
+        assert lookup["tmm+EP"][4] > lookup["tmm+LP"][4], "EP writes > LP"
+        return
     assert lookup["tmm+LP"][2] < 1.05, "LP exec overhead must be ~zero"
     assert lookup["tmm+LP"][4] < 1.05, "LP write overhead must be ~zero"
     assert 1.0 < lookup["tmm+EP"][2] < 1.5, "EP exec overhead is noticeable"

@@ -7,11 +7,10 @@ still below EagerRecompute's (36%); it drops rapidly — below 2% once
 the interval reaches ~33% of execution time.
 """
 
-from repro.analysis.experiments import run_variant
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import sweep_cleaner_period
 
-from bench_common import NUM_THREADS, machine_config, record
+from bench_common import NUM_THREADS, bench_run, engine_opts, machine_config, record
 from repro.workloads.tmm import TiledMatMul
 
 #: Cleaner period as a fraction of the baseline execution time.
@@ -27,11 +26,11 @@ def make_tmm():
 
 def run_fig11():
     cfg = machine_config()
-    base = run_variant(make_tmm(), cfg, "base", num_threads=NUM_THREADS)
-    ep = run_variant(make_tmm(), cfg, "ep", num_threads=NUM_THREADS)
+    base = bench_run(make_tmm(), cfg, "base", num_threads=NUM_THREADS)
+    ep = bench_run(make_tmm(), cfg, "ep", num_threads=NUM_THREADS)
     periods = [f * base.exec_cycles for f in FRACTIONS] + [None]
     swept = sweep_cleaner_period(
-        make_tmm(), cfg, periods, num_threads=NUM_THREADS
+        make_tmm(), cfg, periods, num_threads=NUM_THREADS, **engine_opts()
     )
     return base, ep, swept, periods
 

@@ -7,7 +7,7 @@ Paper: LP overheads range 0.1%-3.5% (avg 1.1%); EagerRecompute ranges
 
 from repro.analysis.reporting import format_table, geomean
 
-from bench_common import cached_run, record
+from bench_common import cached_run, cached_runs, record
 
 WORKLOADS = ["tmm", "cholesky", "conv2d", "gauss", "fft"]
 
@@ -15,6 +15,7 @@ PAPER_RANGE = {"lp": (0.001, 0.035, 0.011), "ep": (0.044, 0.179, 0.09)}
 
 
 def run_fig12():
+    cached_runs([(n, v) for n in WORKLOADS for v in ("base", "lp", "ep")])
     return {
         name: {v: cached_run(name, v) for v in ("base", "lp", "ep")}
         for name in WORKLOADS

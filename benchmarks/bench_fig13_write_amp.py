@@ -8,12 +8,13 @@ memory-footprint effects, section VI-B).
 
 from repro.analysis.reporting import format_table, geomean
 
-from bench_common import cached_run, record
+from bench_common import cached_run, cached_runs, record
 
 WORKLOADS = ["tmm", "cholesky", "conv2d", "gauss", "fft"]
 
 
 def run_fig13():
+    cached_runs([(n, v) for n in WORKLOADS for v in ("base", "lp", "ep")])
     return {
         name: {v: cached_run(name, v) for v in ("base", "lp", "ep")}
         for name in WORKLOADS

@@ -11,7 +11,7 @@ work is diluted by slower memory).
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import sweep_nvmm_latency
 
-from bench_common import NUM_THREADS, machine_config, make_workload, record
+from bench_common import NUM_THREADS, engine_opts, machine_config, make_workload, record
 
 LATENCIES = [(120.0, 300.0), (210.0, 450.0), (300.0, 600.0)]
 
@@ -23,6 +23,7 @@ def run_fig14a():
         LATENCIES,
         variants=("base", "lp", "ep"),
         num_threads=NUM_THREADS,
+        **engine_opts(),
     )
 
 

@@ -8,7 +8,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.sweep import sweep_threads
 from repro.workloads.tmm import TiledMatMul
 
-from bench_common import machine_config, record
+from bench_common import engine_opts, machine_config, record
 
 THREADS = [1, 2, 4, 8, 16]
 
@@ -23,6 +23,7 @@ def run_fig14b():
         cfg,
         THREADS,
         variants=("base", "lp"),
+        **engine_opts(),
     )
 
 
@@ -32,8 +33,8 @@ def test_fig14b_threads(benchmark):
     rows = []
     for p in THREADS:
         b = results[p]["base"].exec_cycles / base1
-        l = results[p]["lp"].exec_cycles / base1
-        rows.append([p, round(b, 3), round(l, 3), round(l / b, 3)])
+        lp = results[p]["lp"].exec_cycles / base1
+        rows.append([p, round(b, 3), round(lp, 3), round(lp / b, 3)])
     record(
         "fig14b_threads",
         format_table(

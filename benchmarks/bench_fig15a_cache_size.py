@@ -16,7 +16,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.sweep import sweep_l2_size
 from repro.workloads.tmm import TiledMatMul
 
-from bench_common import NUM_THREADS, machine_config, record
+from bench_common import NUM_THREADS, engine_opts, machine_config, record
 
 SIZES = [24 * 1024, 32 * 1024, 48 * 1024, 64 * 1024]
 
@@ -31,6 +31,7 @@ def run_fig15a():
         SIZES,
         variants=("base", "lp"),
         num_threads=NUM_THREADS,
+        **engine_opts(),
     )
 
 

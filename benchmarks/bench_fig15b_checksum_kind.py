@@ -4,11 +4,17 @@ Paper: parity 0.1%, modular 0.2%, Adler-32 ~1%, parallel
 (modular+parity) 3.4% — all far below Eager Persistency's 12%.
 """
 
-from repro.analysis.experiments import run_variant
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import sweep_checksum
 
-from bench_common import NUM_THREADS, machine_config, make_workload, record
+from bench_common import (
+    NUM_THREADS,
+    bench_run,
+    engine_opts,
+    machine_config,
+    make_workload,
+    record,
+)
 
 ENGINES = ["parity", "modular", "adler32", "parallel"]
 PAPER = {"parity": 0.1, "modular": 0.2, "adler32": 1.0, "parallel": 3.4}
@@ -16,12 +22,13 @@ PAPER = {"parity": 0.1, "modular": 0.2, "adler32": 1.0, "parallel": 3.4}
 
 def run_fig15b():
     cfg = machine_config()
-    base = run_variant(
+    base = bench_run(
         make_workload("tmm"), cfg, "base", num_threads=NUM_THREADS
     )
-    ep = run_variant(make_workload("tmm"), cfg, "ep", num_threads=NUM_THREADS)
+    ep = bench_run(make_workload("tmm"), cfg, "ep", num_threads=NUM_THREADS)
     swept = sweep_checksum(
-        make_workload("tmm"), cfg, ENGINES, num_threads=NUM_THREADS
+        make_workload("tmm"), cfg, ENGINES, num_threads=NUM_THREADS,
+        **engine_opts(),
     )
     return base, ep, swept
 

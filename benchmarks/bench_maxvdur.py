@@ -9,7 +9,7 @@ natural evictions, just like base).
 from repro.analysis.experiments import compare_variants
 from repro.analysis.reporting import format_table
 
-from bench_common import NUM_THREADS, machine_config, make_workload, record
+from bench_common import NUM_THREADS, engine_opts, machine_config, make_workload, record
 
 PAPER = {"ep": 0.20, "lp": 1.01}
 
@@ -20,6 +20,7 @@ def run_maxvdur():
         machine_config(),
         ["base", "ep", "lp"],
         num_threads=NUM_THREADS,
+        **engine_opts(),
     )
 
 

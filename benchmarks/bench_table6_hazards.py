@@ -11,7 +11,7 @@ counter, and EP's L2 miss rate above base's.
 from repro.analysis.experiments import compare_variants
 from repro.analysis.reporting import format_table
 
-from bench_common import NUM_THREADS, machine_config, make_workload, record
+from bench_common import NUM_THREADS, engine_opts, machine_config, make_workload, record
 
 
 def run_table6():
@@ -20,6 +20,7 @@ def run_table6():
         machine_config(),
         ["base", "ep", "lp"],
         num_threads=NUM_THREADS,
+        **engine_opts(),
     )
 
 

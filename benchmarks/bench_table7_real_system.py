@@ -11,7 +11,7 @@ from repro.analysis.experiments import compare_variants
 from repro.analysis.reporting import format_table, geomean
 from repro.sim.config import real_system_machine
 
-from bench_common import NUM_THREADS, make_workload, record
+from bench_common import NUM_THREADS, engine_opts, make_workload, record
 
 WORKLOADS = ["tmm", "cholesky", "conv2d", "gauss", "fft"]
 PAPER = {"tmm": 0.8, "cholesky": 1.1, "conv2d": 0.9, "gauss": 2.1, "fft": 1.1}
@@ -22,7 +22,8 @@ def run_table7():
     out = {}
     for name in WORKLOADS:
         out[name] = compare_variants(
-            make_workload(name), cfg, ["base", "lp"], num_threads=NUM_THREADS
+            make_workload(name), cfg, ["base", "lp"],
+            num_threads=NUM_THREADS, **engine_opts(),
         )
     return out
 

@@ -9,7 +9,7 @@ counters, max volatility duration).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Optional
 
 from repro.errors import WorkloadError
@@ -67,6 +67,24 @@ class ExperimentResult:
         for name, count in sorted(self.hazards.items()):
             out[f"hazard_{name}"] = count
         return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full, lossless field dump (the on-disk cache record body)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Strict on shape: unknown or missing fields raise (``TypeError``
+        / ``KeyError``), which the result cache treats as a corrupted
+        entry and falls back to re-running the experiment.
+        """
+        names = {f.name for f in fields(cls)}
+        extra = set(data) - names
+        if extra:
+            raise KeyError(f"unknown ExperimentResult fields: {sorted(extra)}")
+        return cls(**data)
 
     def normalized_to(self, base: "ExperimentResult") -> Dict[str, float]:
         """Execution-time and write ratios vs a baseline run (how every
@@ -138,12 +156,29 @@ def compare_variants(
     num_threads: int = 8,
     engine: str = "modular",
     drain: bool = False,
+    n_jobs: int = 1,
+    cache=None,
 ) -> Dict[str, ExperimentResult]:
-    """Run several variants of one workload under identical conditions."""
-    return {
-        v: run_variant(
-            workload, config, v, num_threads=num_threads, engine=engine,
+    """Run several variants of one workload under identical conditions.
+
+    ``n_jobs``/``cache`` fan the variants out through the parallel
+    experiment engine (:mod:`repro.analysis.runner`); the defaults run
+    serially with no on-disk cache, exactly like ``run_variant`` in a
+    loop.
+    """
+    # Imported here: runner depends on this module.
+    from repro.analysis.runner import Job, run_jobs
+
+    jobs = [
+        Job(
+            workload,
+            config,
+            v,
+            num_threads=num_threads,
+            engine=engine,
             drain=drain,
         )
         for v in variants
-    }
+    ]
+    results = run_jobs(jobs, n_jobs=n_jobs, cache=cache)
+    return dict(zip(variants, results))

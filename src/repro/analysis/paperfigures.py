@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.analysis.experiments import compare_variants, run_variant
+from repro.analysis.experiments import compare_variants
+from repro.analysis.runner import Job, run_jobs
 from repro.analysis.crashlab import run_crash_campaign
 from repro.analysis.reporting import format_table, geomean
 from repro.core.accuracy import run_error_injection
@@ -50,12 +51,13 @@ def _config(threads: int) -> MachineConfig:
     return scaled_machine(num_cores=threads + 1)
 
 
-def _scheme_section(scale: dict) -> str:
+def _scheme_section(scale: dict, n_jobs: int = 1) -> str:
     """Figure 10 flavour: all TMM schemes, normalized."""
     cfg = _config(scale["threads"])
     wl = get_workload("tmm")(**scale["workloads"]["tmm"])
     results = compare_variants(
-        wl, cfg, list(wl.variants), num_threads=scale["threads"], drain=True
+        wl, cfg, list(wl.variants), num_threads=scale["threads"], drain=True,
+        n_jobs=n_jobs,
     )
     base = results["base"]
     rows = []
@@ -77,20 +79,33 @@ def _scheme_section(scale: dict) -> str:
     )
 
 
-def _kernels_section(scale: dict) -> str:
-    """Figures 12/13 flavour: LP vs EP across kernels."""
+def _kernels_section(scale: dict, n_jobs: int = 1) -> str:
+    """Figures 12/13 flavour: LP vs EP across kernels.
+
+    All (kernel, variant) points are independent, so the whole grid is
+    submitted to the engine as one batch.
+    """
     cfg = _config(scale["threads"])
-    rows = []
-    lp_ratios: List[float] = []
-    ep_ratios: List[float] = []
-    for name, params in scale["workloads"].items():
-        results = compare_variants(
+    variants = ["base", "lp", "ep"]
+    names = list(scale["workloads"])
+    jobs = [
+        Job(
             get_workload(name)(**params),
             cfg,
-            ["base", "lp", "ep"],
+            v,
             num_threads=scale["threads"],
             drain=True,
         )
+        for name, params in scale["workloads"].items()
+        for v in variants
+    ]
+    flat = iter(run_jobs(jobs, n_jobs=n_jobs))
+    grid = {name: {v: next(flat) for v in variants} for name in names}
+    rows = []
+    lp_ratios: List[float] = []
+    ep_ratios: List[float] = []
+    for name in names:
+        results = grid[name]
         base = results["base"]
         lp = results["lp"].exec_cycles / base.exec_cycles
         ep = results["ep"].exec_cycles / base.exec_cycles
@@ -147,8 +162,14 @@ def _accuracy_section(scale: dict) -> str:
     )
 
 
-def reproduce(scale: str = "quick") -> str:
-    """Run the compact reproduction and return the report text."""
+def reproduce(scale: str = "quick", n_jobs: int = 1) -> str:
+    """Run the compact reproduction and return the report text.
+
+    ``n_jobs`` fans the independent experiment points inside each
+    section out over that many processes (see
+    :mod:`repro.analysis.runner`); the crash and accuracy sections are
+    sequential campaigns and always run serially.
+    """
     try:
         params = _SCALES[scale]
     except KeyError:
@@ -157,8 +178,8 @@ def reproduce(scale: str = "quick") -> str:
         ) from None
     sections = [
         f"# Lazy Persistency reproduction report (scale: {scale})",
-        _scheme_section(params),
-        _kernels_section(params),
+        _scheme_section(params, n_jobs=n_jobs),
+        _kernels_section(params, n_jobs=n_jobs),
         _recovery_section(params),
         _accuracy_section(params),
         (

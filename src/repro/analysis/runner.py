@@ -1,0 +1,355 @@
+"""Parallel experiment engine with an on-disk result cache.
+
+Every paper figure is a fan-out of independent ``run_variant`` points:
+each point is a pure function of (workload spec, machine config,
+variant, threads, engine, cleaner period), so the engine can
+
+* distribute points over a ``multiprocessing`` pool (``n_jobs > 1``)
+  with spawn-safe job descriptors and ordered result collection, and
+* memoize each point on disk under a content-addressed key, so
+  re-running a sweep after an unrelated edit is a cache hit instead of
+  a re-simulation.
+
+The cache key hashes the full job description plus a digest of the
+simulator-relevant source tree (:func:`code_version`), so editing
+``repro/sim`` or a workload invalidates stale entries automatically
+while editing benchmarks, docs, or the CLI does not.
+
+Usage::
+
+    jobs = [Job(workload, config, v) for v in ("base", "lp", "ep")]
+    results = run_jobs(jobs, n_jobs=4, cache=ResultCache())
+
+``n_jobs=1`` is the serial fallback: jobs run in-process, in order,
+with no pool — bit-for-bit the same results as the parallel path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import random
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import ExperimentResult, run_variant
+from repro.errors import ConfigError
+from repro.sim.config import MachineConfig
+from repro.workloads.base import Workload
+
+#: Bumped whenever the cache record layout changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Subpackages of ``repro`` whose source feeds :func:`code_version`.
+#: The CLI, reporting, and benchmark drivers are deliberately absent:
+#: editing them cannot change a simulation's outcome, so sweeps stay
+#: cached across such edits.
+_VERSIONED_SUBTREES = ("sim", "core", "workloads", "analysis/experiments.py")
+
+_code_version_memo: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the simulator-relevant source files.
+
+    Any edit under ``repro/sim``, ``repro/core``, ``repro/workloads``,
+    or to ``run_variant`` itself changes this digest and therefore
+    every cache key; results produced by older code can never be
+    served for newer code.
+    """
+    global _code_version_memo
+    if _code_version_memo is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for sub in _VERSIONED_SUBTREES:
+            path = os.path.join(root, sub)
+            if os.path.isfile(path):
+                files = [path]
+            else:
+                files = sorted(
+                    os.path.join(dirpath, name)
+                    for dirpath, _, names in os.walk(path)
+                    for name in names
+                    if name.endswith(".py")
+                )
+            for fname in files:
+                digest.update(os.path.relpath(fname, root).encode())
+                with open(fname, "rb") as fh:
+                    digest.update(fh.read())
+        _code_version_memo = digest.hexdigest()
+    return _code_version_memo
+
+
+def workload_spec(workload: Workload) -> Dict[str, object]:
+    """Canonical description of a workload instance.
+
+    Workloads hold only scalar problem parameters (sizes, seeds, mode
+    strings), so their ``vars()`` is a complete, JSON-safe spec.
+    """
+    spec: Dict[str, object] = {"__class__": type(workload).__qualname__,
+                               "__name__": workload.name}
+    for key, value in sorted(vars(workload).items()):
+        if not isinstance(value, (int, float, str, bool, type(None))):
+            raise ConfigError(
+                f"workload {workload.name!r} attribute {key!r} is not a "
+                f"scalar ({type(value).__name__}); cannot build a stable "
+                "cache key"
+            )
+        spec[key] = value
+    return spec
+
+
+@dataclass(frozen=True)
+class Job:
+    """Spawn-safe descriptor of one ``run_variant`` point.
+
+    Carries only picklable state (the workload's scalar parameters,
+    the frozen config dataclasses, strings and numbers), so it crosses
+    a ``spawn`` process boundary unchanged.
+    """
+
+    workload: Workload
+    config: MachineConfig
+    variant: str
+    num_threads: int = 8
+    engine: str = "modular"
+    cleaner_period: Optional[float] = None
+    verify: bool = True
+    drain: bool = False
+
+    def cache_key(self) -> str:
+        """Content-addressed identity of this job's result."""
+        payload = json.dumps(
+            {
+                "workload": workload_spec(self.workload),
+                "config": self.config.cache_key(),
+                "variant": self.variant,
+                "num_threads": self.num_threads,
+                "engine": self.engine,
+                "cleaner_period": self.cleaner_period,
+                "verify": self.verify,
+                "drain": self.drain,
+                "code": code_version(),
+                "format": CACHE_FORMAT_VERSION,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def run(self) -> ExperimentResult:
+        """Execute the point (no cache), with deterministic seeding.
+
+        The simulator draws randomness only from seeds inside the job
+        description (workload seed, ``schedule_seed``), but the global
+        RNGs are reseeded from the cache key anyway so any future
+        stray ``random``/``numpy`` call stays reproducible per job.
+        """
+        seed = int(self.cache_key()[:16], 16)
+        random.seed(seed)
+        try:
+            import numpy as np
+
+            np.random.seed(seed % (2**32))
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            pass
+        return run_variant(
+            self.workload,
+            self.config,
+            self.variant,
+            num_threads=self.num_threads,
+            engine=self.engine,
+            cleaner_period=self.cleaner_period,
+            verify=self.verify,
+            drain=self.drain,
+        )
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-lazy-persistency``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-lazy-persistency")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`ExperimentResult`.
+
+    One JSON file per result, named by the job's cache key and fanned
+    into 256 two-hex-digit subdirectories.  Writes are atomic (temp
+    file + rename), so a crashed or concurrent writer can at worst
+    leave a stale temp file, never a torn record.  Unreadable or
+    malformed entries are treated as misses and deleted — the engine
+    falls back to re-running the job.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        """The cached result for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r") as fh:
+                record = json.load(fh)
+            if record["format"] != CACHE_FORMAT_VERSION or record["key"] != key:
+                raise ValueError("cache record does not match its key")
+            result = ExperimentResult.from_dict(record["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: ExperimentResult) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        record = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(record, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for dirpath, _, names in os.walk(self.root):
+            for name in names:
+                if name.endswith(".json"):
+                    os.remove(os.path.join(dirpath, name))
+                    removed += 1
+        return removed
+
+
+def _execute_indexed(payload: Tuple[int, Job]) -> Tuple[int, ExperimentResult]:
+    """Pool worker: run one job, tagged with its submission index."""
+    index, job = payload
+    return index, job.run()
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    n_jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    mp_context: str = "spawn",
+) -> List[ExperimentResult]:
+    """Run experiment points, in parallel, through the result cache.
+
+    Results come back in submission order regardless of completion
+    order.  ``cache=None`` disables the on-disk cache entirely;
+    ``n_jobs=1`` runs serially in-process (identical results, no pool).
+    Duplicate jobs in one batch are simulated once.
+    """
+    if n_jobs < 1:
+        raise ConfigError(f"n_jobs must be >= 1, got {n_jobs}")
+    results: List[Optional[ExperimentResult]] = [None] * len(jobs)
+
+    # Cache probe; collect misses, collapsing duplicate keys.
+    pending: Dict[str, List[int]] = {}
+    pending_jobs: List[Job] = []
+    for index, job in enumerate(jobs):
+        key = job.cache_key()
+        if cache is not None and key not in pending:
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                continue
+        if key in pending:
+            pending[key].append(index)
+        else:
+            pending[key] = [index]
+            pending_jobs.append(job)
+
+    # Run the misses.
+    if pending_jobs:
+        if n_jobs == 1 or len(pending_jobs) == 1:
+            finished = [
+                (i, job.run()) for i, job in enumerate(pending_jobs)
+            ]
+        else:
+            ctx = multiprocessing.get_context(mp_context)
+            workers = min(n_jobs, len(pending_jobs))
+            with ctx.Pool(processes=workers) as pool:
+                finished = list(
+                    pool.imap_unordered(
+                        _execute_indexed, enumerate(pending_jobs)
+                    )
+                )
+        keys = list(pending)
+        for pending_index, result in finished:
+            key = keys[pending_index]
+            if cache is not None:
+                cache.put(key, result)
+            for index in pending[key]:
+                results[index] = result
+
+    return [r for r in results if r is not None]
+
+
+def run_variant_cached(
+    workload: Workload,
+    config: MachineConfig,
+    variant: str,
+    cache: Optional[ResultCache] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """One-point convenience wrapper: ``run_variant`` through the cache."""
+    (result,) = run_jobs(
+        [Job(workload, config, variant, **kwargs)], n_jobs=1, cache=cache
+    )
+    return result

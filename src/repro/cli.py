@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.analysis.crashlab import run_crash_campaign
 from repro.analysis.experiments import compare_variants, run_variant
 from repro.analysis.reporting import format_table
+from repro.analysis.runner import ResultCache
 from repro.analysis import sweep as sweeps
 from repro.core.checksum import available_engines
 from repro.sim.config import (
@@ -65,6 +66,13 @@ def _machine(args) -> MachineConfig:
 
 def _workload(args):
     return get_workload(args.workload)(**_parse_params(args.param))
+
+
+def _cache(args) -> Optional[ResultCache]:
+    """The on-disk result cache the engine flags selected (or None)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(root=getattr(args, "cache_dir", None))
 
 
 def _cmd_list(args) -> int:
@@ -119,6 +127,8 @@ def _cmd_compare(args) -> int:
         num_threads=args.threads,
         engine=args.engine,
         drain=True,  # count residual dirty lines: fair at small scale
+        n_jobs=args.jobs,
+        cache=_cache(args),
     )
     base_name = variants[0]
     base = results[base_name]
@@ -207,7 +217,7 @@ def _cmd_idempotence(args) -> int:
 def _cmd_reproduce(args) -> int:
     from repro.analysis.paperfigures import reproduce
 
-    report = reproduce(scale=args.scale)
+    report = reproduce(scale=args.scale, n_jobs=args.jobs)
     print(report)
     if args.out:
         with open(args.out, "w") as fh:
@@ -219,9 +229,12 @@ def _cmd_reproduce(args) -> int:
 def _cmd_sweep(args) -> int:
     wl = _workload(args)
     cfg = _machine(args)
+    cache = _cache(args)
+    engine_opts = dict(n_jobs=args.jobs, cache=cache)
     if args.kind == "checksum":
         out = sweeps.sweep_checksum(
-            wl, cfg, available_engines(), num_threads=args.threads
+            wl, cfg, available_engines(), num_threads=args.threads,
+            **engine_opts,
         )
         rows = [
             [name, round(r.exec_cycles), r.nvmm_writes]
@@ -231,7 +244,8 @@ def _cmd_sweep(args) -> int:
     elif args.kind == "latency":
         points = [(120.0, 300.0), (210.0, 450.0), (300.0, 600.0)]
         out = sweeps.sweep_nvmm_latency(
-            wl, cfg, points, variants=("base", "lp"), num_threads=args.threads
+            wl, cfg, points, variants=("base", "lp"),
+            num_threads=args.threads, **engine_opts,
         )
         rows = [
             [
@@ -243,7 +257,9 @@ def _cmd_sweep(args) -> int:
         headers = ["(read/write)", "LP exec vs base"]
     elif args.kind == "threads":
         counts = [1, 2, 4, 8]
-        out = sweeps.sweep_threads(wl, cfg, counts, variants=("base", "lp"))
+        out = sweeps.sweep_threads(
+            wl, cfg, counts, variants=("base", "lp"), **engine_opts
+        )
         rows = [
             [
                 p,
@@ -256,7 +272,7 @@ def _cmd_sweep(args) -> int:
     else:  # cleaner
         periods = [1000.0, 10000.0, 100000.0, None]
         out = sweeps.sweep_cleaner_period(
-            wl, cfg, periods, num_threads=args.threads
+            wl, cfg, periods, num_threads=args.threads, **engine_opts
         )
         rows = [
             [
@@ -268,6 +284,11 @@ def _cmd_sweep(args) -> int:
         ]
         headers = ["period (cycles)", "writes", "cleaner writes"]
     print(format_table(headers, rows, title=f"{args.workload}: {args.kind} sweep"))
+    if cache is not None and cache.stats.lookups:
+        print(
+            f"\n[cache: {cache.stats.hits}/{cache.stats.lookups} hits "
+            f"({cache.root})]"
+        )
     return 0
 
 
@@ -291,6 +312,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="workload parameter (repeatable), e.g. -p n=48",
         )
 
+    def engine_flags(p):
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="run experiment points on N parallel processes",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="skip the on-disk result cache (always re-simulate)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="result cache location (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro-lazy-persistency)",
+        )
+
     p_run = sub.add_parser("run", help="run one variant and print metrics")
     common(p_run)
     p_run.add_argument("--variant", default="lp")
@@ -299,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="compare variants (normalized)")
     common(p_cmp)
+    engine_flags(p_cmp)
     p_cmp.add_argument("--variants", default="base,lp,ep")
 
     p_crash = sub.add_parser("crash", help="crash an LP run and recover")
@@ -311,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
         "kind", choices=["checksum", "latency", "threads", "cleaner"]
     )
     common(p_sweep)
+    engine_flags(p_sweep)
 
     p_idem = sub.add_parser(
         "idempotence", help="classify a workload's LP regions (III-E)"
@@ -322,6 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument("--scale", choices=["smoke", "quick"], default="quick")
     p_rep.add_argument("--out", default=None, help="also write report here")
+    p_rep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run experiment points on N parallel processes",
+    )
     return parser
 
 

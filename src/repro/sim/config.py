@@ -10,7 +10,8 @@ benchmark parameter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.errors import ConfigError
 
@@ -178,6 +179,18 @@ class MachineConfig:
     def with_cores(self, num_cores: int) -> "MachineConfig":
         """Return a copy with a different core count (Fig 14b sweep)."""
         return replace(self, num_cores=num_cores)
+
+    def cache_key(self) -> str:
+        """Canonical serialization of every timing-relevant field.
+
+        Two configs that simulate identically produce the same string,
+        and any field change produces a different one — this is the
+        config component of the experiment result cache's content hash
+        (see :mod:`repro.analysis.runner`).  Keys are sorted and floats
+        rendered by ``repr`` so the encoding is stable across processes
+        and Python versions.
+        """
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
 
 
 def paper_machine(num_cores: int = 9) -> MachineConfig:

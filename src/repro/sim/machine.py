@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence
 
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError
 from repro.sim.address import Allocator, Region
 from repro.sim.coherence import Hierarchy
 from repro.sim.config import MachineConfig

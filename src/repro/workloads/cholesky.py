@@ -263,18 +263,18 @@ class BoundCholesky(BoundWorkload):
     def reference(self) -> np.ndarray:
         p = self.pristine.to_numpy()
         n = self.spec.n
-        l = np.zeros((n, n))
+        low = np.zeros((n, n))
         for j in range(n):
             s = p[j, j]
             for k in range(j):
-                s -= l[j, k] * l[j, k]
-            l[j, j] = math.sqrt(s)
+                s -= low[j, k] * low[j, k]
+            low[j, j] = math.sqrt(s)
             for i in range(j + 1, n):
                 s = p[i, j]
                 for k in range(j):
-                    s -= l[i, k] * l[j, k]
-                l[i, j] = s / l[j, j]
-        return l
+                    s -= low[i, k] * low[j, k]
+                low[i, j] = s / low[j, j]
+        return low
 
     def output(self, persistent: bool = False) -> np.ndarray:
         return self.l.to_numpy(persistent=persistent)

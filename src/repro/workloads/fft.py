@@ -101,9 +101,9 @@ class BoundFFT(BoundWorkload):
 
     def stage_params(self, stage: int) -> Tuple[int, int]:
         """(l, m) for a stage: l butterfly groups of span m."""
-        l = 1 << stage
+        groups = 1 << stage
         m = self.spec.n >> (stage + 1)
-        return l, m
+        return groups, m
 
     def my_butterflies(self, tid: int, stage: int) -> range:
         """Contiguous chunk of the n/2 butterfly indices owned by tid."""
@@ -153,7 +153,7 @@ class BoundFFT(BoundWorkload):
     ) -> Generator[Op, Optional[float], None]:
         src = self.bufs[stage % 2]
         dst = self.bufs[(stage + 1) % 2]
-        l, m = self.stage_params(stage)
+        groups, m = self.stage_params(stage)
         ck: Optional[RegionChecksum] = None
         if variant == VARIANT_LP:
             ck = self.lp.begin_region()
@@ -164,12 +164,12 @@ class BoundFFT(BoundWorkload):
             p, q = t // m, t % m
             a = yield from self._read_c(src, q + m * (2 * p))
             b = yield from self._read_c(src, q + m * (2 * p + 1))
-            w = cmath.exp(-2j * cmath.pi * p / (2 * l))
+            w = cmath.exp(-2j * cmath.pi * p / (2 * groups))
             top = a + w * b
             bot = a - w * b
             yield Compute(10)  # twiddle multiply + two complex adds
             yield from self._write_c(dst, q + m * p, top)
-            yield from self._write_c(dst, q + m * (p + l), bot)
+            yield from self._write_c(dst, q + m * (p + groups), bot)
             if ck is not None:
                 for v in (top.real, top.imag, bot.real, bot.imag):
                     yield from ck.update(v)
@@ -178,8 +178,8 @@ class BoundFFT(BoundWorkload):
                     (
                         dst.addr(2 * (q + m * p)),
                         dst.addr(2 * (q + m * p) + 1),
-                        dst.addr(2 * (q + m * (p + l))),
-                        dst.addr(2 * (q + m * (p + l)) + 1),
+                        dst.addr(2 * (q + m * (p + groups))),
+                        dst.addr(2 * (q + m * (p + groups)) + 1),
                     )
                 )
                 in_tile += 1
@@ -250,12 +250,12 @@ class BoundFFT(BoundWorkload):
         if not self.lp.region_committed(stage, tid):
             return False
         dst = self.bufs[(stage + 1) % 2]
-        l, m = self.stage_params(stage)
+        groups, m = self.stage_params(stage)
         ck = RegionChecksum(self.lp.engine)
         for t in self.my_butterflies(tid, stage):
             p, q = t // m, t % m
             top = yield from self._read_c(dst, q + m * p)
-            bot = yield from self._read_c(dst, q + m * (p + l))
+            bot = yield from self._read_c(dst, q + m * (p + groups))
             for v in (top.real, top.imag, bot.real, bot.imag):
                 ck.update_silent(v)
             yield Compute(4 * self.lp.engine.flops_per_update)
@@ -273,14 +273,14 @@ class BoundFFT(BoundWorkload):
         src = [complex(flat[2 * i], flat[2 * i + 1]) for i in range(n)]
         dst = [0j] * n
         for stage in range(self.spec.stages):
-            l, m = self.stage_params(stage)
+            groups, m = self.stage_params(stage)
             for t in range(n // 2):
                 p, q = t // m, t % m
                 a = src[q + m * (2 * p)]
                 b = src[q + m * (2 * p + 1)]
-                w = cmath.exp(-2j * cmath.pi * p / (2 * l))
+                w = cmath.exp(-2j * cmath.pi * p / (2 * groups))
                 dst[q + m * p] = a + w * b
-                dst[q + m * (p + l)] = a - w * b
+                dst[q + m * (p + groups)] = a - w * b
             src, dst = dst, src
         return src
 

@@ -1,7 +1,5 @@
 """Tests for reporting helpers."""
 
-import math
-
 import pytest
 
 from repro.analysis.reporting import format_table, geomean, normalize, paper_vs_measured
@@ -46,7 +44,7 @@ class TestFormatTable:
     def test_alignment_consistent(self):
         s = format_table(["x", "y"], [["aa", 1], ["b", 22]])
         lines = s.splitlines()
-        assert len({len(l) for l in lines[0:1]}) == 1
+        assert len({len(line) for line in lines[0:1]}) == 1
 
 
 class TestPaperVsMeasured:

@@ -1,0 +1,200 @@
+"""Tests for the parallel experiment engine and its on-disk cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult, run_variant
+from repro.analysis.runner import (
+    Job,
+    ResultCache,
+    code_version,
+    run_jobs,
+    run_variant_cached,
+    workload_spec,
+)
+from repro.errors import ConfigError
+from repro.sim.config import CacheConfig, MachineConfig
+from repro.workloads.tmm import TiledMatMul
+
+
+def config(cores=3):
+    return MachineConfig(
+        num_cores=cores,
+        l1=CacheConfig(1024, 2, hit_cycles=2.0),
+        l2=CacheConfig(4096, 4, hit_cycles=11.0),
+    )
+
+
+def tmm(**kw):
+    kw.setdefault("n", 16)
+    kw.setdefault("bsize", 8)
+    return TiledMatMul(**kw)
+
+
+def jobs_for(variants=("base", "lp")):
+    return [Job(tmm(), config(), v, num_threads=2) for v in variants]
+
+
+class TestCacheKey:
+    def test_stable_across_instances(self):
+        assert jobs_for()[0].cache_key() == jobs_for()[0].cache_key()
+
+    def test_sensitive_to_every_knob(self):
+        base = Job(tmm(), config(), "lp", num_threads=2)
+        different = [
+            Job(tmm(n=24), config(), "lp", num_threads=2),
+            Job(tmm(seed=8), config(), "lp", num_threads=2),
+            Job(tmm(), config(cores=4), "lp", num_threads=2),
+            Job(tmm(), config().with_l2_size(8192), "lp", num_threads=2),
+            Job(tmm(), config(), "base", num_threads=2),
+            Job(tmm(), config(), "lp", num_threads=1),
+            Job(tmm(), config(), "lp", num_threads=2, engine="parity"),
+            Job(tmm(), config(), "lp", num_threads=2, cleaner_period=100.0),
+            Job(tmm(), config(), "lp", num_threads=2, drain=True),
+        ]
+        keys = {j.cache_key() for j in different}
+        assert len(keys) == len(different)
+        assert base.cache_key() not in keys
+
+    def test_machine_config_cache_key_canonical(self):
+        assert config().cache_key() == config().cache_key()
+        assert config().cache_key() != config(cores=4).cache_key()
+        assert "num_cores" in config().cache_key()
+
+    def test_workload_spec_is_scalars(self):
+        spec = workload_spec(tmm())
+        assert spec["__name__"] == "tmm"
+        assert spec["n"] == 16
+        json.dumps(spec)  # JSON-safe by construction
+
+    def test_code_version_is_stable_hex(self):
+        assert code_version() == code_version()
+        int(code_version(), 16)
+
+
+class TestSerialEngine:
+    def test_matches_run_variant_exactly(self):
+        direct = run_variant(tmm(), config(), "lp", num_threads=2)
+        (engine,) = run_jobs([Job(tmm(), config(), "lp", num_threads=2)])
+        assert engine == direct
+
+    def test_order_preserved(self):
+        results = run_jobs(jobs_for(("base", "lp", "ep")))
+        assert [r.variant for r in results] == ["base", "lp", "ep"]
+
+    def test_duplicate_jobs_simulated_once(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        results = run_jobs(jobs_for(("lp", "lp")), cache=cache)
+        assert results[0] == results[1]
+        assert cache.stats.stores == 1
+
+    def test_rejects_bad_n_jobs(self):
+        with pytest.raises(ConfigError):
+            run_jobs(jobs_for(), n_jobs=0)
+
+
+class TestParallelEngine:
+    def test_bitwise_equal_to_serial(self):
+        serial = run_jobs(jobs_for(("base", "lp", "ep")), n_jobs=1)
+        parallel = run_jobs(jobs_for(("base", "lp", "ep")), n_jobs=2)
+        assert serial == parallel  # full dataclass equality, every field
+
+    def test_parallel_fills_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_jobs(jobs_for(), n_jobs=2, cache=cache)
+        assert cache.stats.stores == 2
+        rerun = ResultCache(str(tmp_path))
+        results = run_jobs(jobs_for(), n_jobs=2, cache=rerun)
+        assert rerun.stats.hits == 2 and rerun.stats.misses == 0
+        assert [r.variant for r in results] == ["base", "lp"]
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        first = run_jobs(jobs_for(), cache=cache)
+        assert cache.stats.misses == 2 and cache.stats.stores == 2
+        second = run_jobs(jobs_for(), cache=cache)
+        assert cache.stats.hits == 2
+        assert first == second
+
+    def test_hits_only_need_no_simulation(self, tmp_path, monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        run_jobs(jobs_for(), cache=cache)
+        monkeypatch.setattr(
+            "repro.analysis.runner.run_variant",
+            lambda *a, **k: pytest.fail("cache hit must not re-simulate"),
+        )
+        results = run_jobs(jobs_for(), cache=cache)
+        assert [r.variant for r in results] == ["base", "lp"]
+
+    def test_corrupted_entry_falls_back_to_rerun(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        (good,) = run_jobs(jobs_for(("lp",)), cache=cache)
+        key = jobs_for(("lp",))[0].cache_key()
+        path = cache._path(key)
+        with open(path, "w") as fh:
+            fh.write("{ not json at all")
+        fresh = ResultCache(str(tmp_path))
+        (recovered,) = run_jobs(jobs_for(("lp",)), cache=fresh)
+        assert recovered == good
+        assert fresh.stats.corrupt == 1
+        # the re-run rewrote a valid entry
+        assert ResultCache(str(tmp_path)).get(key) == good
+
+    def test_wrong_schema_entry_is_corrupt(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        (good,) = run_jobs(jobs_for(("lp",)), cache=cache)
+        key = jobs_for(("lp",))[0].cache_key()
+        with open(cache._path(key), "r+") as fh:
+            record = json.load(fh)
+            record["result"]["not_a_field"] = 1
+            fh.seek(0)
+            json.dump(record, fh)
+            fh.truncate()
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(key) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_key_mismatch_is_corrupt(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        (good,) = run_jobs(jobs_for(("lp",)), cache=cache)
+        key = jobs_for(("lp",))[0].cache_key()
+        other = "ab" + key[2:]
+        os.makedirs(os.path.dirname(cache._path(other)), exist_ok=True)
+        os.rename(cache._path(key), cache._path(other))
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(other) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        run_jobs(jobs_for(), cache=cache)
+        assert cache.clear() == 2
+        assert cache.get(jobs_for()[0].cache_key()) is None
+
+    def test_run_variant_cached_wrapper(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        r1 = run_variant_cached(tmm(), config(), "lp", cache=cache,
+                                num_threads=2)
+        r2 = run_variant_cached(tmm(), config(), "lp", cache=cache,
+                                num_threads=2)
+        assert r1 == r2
+        assert cache.stats.hits == 1
+
+
+class TestResultRoundtrip:
+    def test_to_from_dict_lossless(self):
+        result = run_variant(tmm(), config(), "lp", num_threads=2, drain=True)
+        clone = ExperimentResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone == result
+
+    def test_from_dict_rejects_unknown_fields(self):
+        result = run_variant(tmm(), config(), "base", num_threads=2)
+        data = result.to_dict()
+        data["bogus"] = 1
+        with pytest.raises(KeyError):
+            ExperimentResult.from_dict(data)

@@ -1,6 +1,7 @@
 """Tests for the sensitivity-study sweep drivers."""
 
 from repro.analysis.sweep import (
+    cores_for_workers,
     sweep_checksum,
     sweep_cleaner_period,
     sweep_l2_size,
@@ -49,10 +50,51 @@ class TestNVMMLatencySweep:
         )
 
 
+class TestCoresForWorkers:
+    def test_reserves_master_core(self):
+        # p workers always get p + 1 cores (the paper's 8-on-9 setup)
+        assert cores_for_workers(8, config(cores=4)) == 9
+
+    def test_never_shrinks_the_machine(self):
+        assert cores_for_workers(1, config(cores=4)) == 4
+        assert cores_for_workers(3, config(cores=4)) == 4
+        assert cores_for_workers(4, config(cores=4)) == 5
+
+
 class TestThreadSweep:
     def test_more_threads_faster(self):
         out = sweep_threads(tmm(), config(cores=4), [1, 2], variants=("base",))
         assert out[2]["base"].exec_cycles < out[1]["base"].exec_cycles
+
+    def test_large_counts_get_enough_cores(self):
+        out = sweep_threads(tmm(), config(cores=4), [8], variants=("base",))
+        assert out[8]["base"].num_threads == 8
+
+
+class TestEngineIntegration:
+    def test_parallel_sweep_matches_serial(self):
+        points = [(120.0, 300.0), (300.0, 600.0)]
+        serial = sweep_nvmm_latency(
+            tmm(), config(), points, variants=("base", "lp"), num_threads=2
+        )
+        parallel = sweep_nvmm_latency(
+            tmm(), config(), points, variants=("base", "lp"), num_threads=2,
+            n_jobs=2,
+        )
+        assert serial == parallel
+
+    def test_sweep_through_disk_cache(self, tmp_path):
+        from repro.analysis.runner import ResultCache
+
+        cache = ResultCache(str(tmp_path))
+        first = sweep_checksum(
+            tmm(), config(), ["parity", "modular"], num_threads=2, cache=cache
+        )
+        second = sweep_checksum(
+            tmm(), config(), ["parity", "modular"], num_threads=2, cache=cache
+        )
+        assert first == second
+        assert cache.stats.hits == 2 and cache.stats.misses == 2
 
 
 class TestL2Sweep:

@@ -1,0 +1,14 @@
+"""Shared test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_result_cache(tmp_path, monkeypatch):
+    """Point the experiment result cache at a per-test directory.
+
+    Keeps tests that exercise default-cache code paths (the CLI's
+    ``sweep``/``compare`` commands) from writing under the user's real
+    ``~/.cache``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))

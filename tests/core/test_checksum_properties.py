@@ -74,9 +74,15 @@ def test_parallel_at_least_as_strong_as_parts(values):
     """If either the modular or parity component would detect a change,
     so does the parallel combination (its word embeds both)."""
     corrupted = [v + 1.0 for v in values]
-    mod_detects = ModularChecksum().of_values(values) != ModularChecksum().of_values(corrupted)
-    par_detects = ParityChecksum().of_values(values) != ParityChecksum().of_values(corrupted)
-    combo_detects = ParallelChecksum().of_values(values) != ParallelChecksum().of_values(corrupted)
+    mod_detects = ModularChecksum().of_values(
+        values
+    ) != ModularChecksum().of_values(corrupted)
+    par_detects = ParityChecksum().of_values(
+        values
+    ) != ParityChecksum().of_values(corrupted)
+    combo_detects = ParallelChecksum().of_values(
+        values
+    ) != ParallelChecksum().of_values(corrupted)
     if mod_detects or par_detects:
         assert combo_detects
 

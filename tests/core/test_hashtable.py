@@ -92,7 +92,8 @@ class TestCommit:
         ck = tab.engine.of_values([5.0, 6.0])
         m.run([tab.commit_eager(ck, 0, 0, 0)])
         assert not tab.matches([5.0, 7.0], 0, 0, 0)
-        assert not tab.matches([6.0, 5.0], 0, 0, 0) or True  # order-insensitive sums may match
+        # order-insensitive sums may match
+        assert not tab.matches([6.0, 5.0], 0, 0, 0) or True
         assert not tab.matches([5.0], 0, 0, 0)
 
     def test_committed_keys_lists_slots(self):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.idempotence import (
-    IdempotenceReport,
     RegionFootprint,
     analyze_trace,
     classify_workload,

@@ -6,9 +6,7 @@ Coherence invariants, output exactness and crash recovery must survive
 every one of them.
 """
 
-import dataclasses
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim.config import CacheConfig, MachineConfig

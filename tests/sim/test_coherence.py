@@ -1,7 +1,5 @@
 """Unit tests for the coherence protocol and the persistence paths."""
 
-import pytest
-
 from repro.sim.cache import State
 from repro.sim.coherence import Hierarchy
 from repro.sim.config import CacheConfig, MachineConfig

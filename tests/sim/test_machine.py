@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.sim.config import CacheConfig, MachineConfig
-from repro.sim.isa import Compute, Fence, Load, RegionMark, Store
+from repro.sim.isa import Compute, Load, RegionMark, Store
 from repro.sim.machine import Machine
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import AddressError, ConfigError
+from repro.errors import AddressError
 from repro.sim.config import CacheConfig, MachineConfig
 from repro.sim.isa import Compute, Load, Store
 from repro.sim.machine import Machine

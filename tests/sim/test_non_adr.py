@@ -5,9 +5,7 @@ waits for the NVMM device to finish the write, fences take the full
 write latency, and a crash loses writes still in flight.
 """
 
-import dataclasses
 
-import pytest
 
 from repro.sim.config import CacheConfig, MachineConfig, NVMMConfig
 from repro.sim.isa import Fence, Flush, Store

@@ -14,7 +14,6 @@ These pin the invariants Lazy Persistency relies on:
 
 from hypothesis import given, settings, strategies as st
 
-from repro.sim.cache import State
 from repro.sim.config import CacheConfig, MachineConfig
 from repro.sim.isa import Fence, Flush, FlushWB, Load, Store
 from repro.sim.machine import Machine

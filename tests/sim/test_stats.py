@@ -1,6 +1,6 @@
 """Unit tests for the statistics aggregation."""
 
-from repro.sim.stats import CoreStats, MachineStats
+from repro.sim.stats import MachineStats
 
 
 class TestDerivedMetrics:

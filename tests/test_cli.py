@@ -24,6 +24,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["crash", "tmm"])
 
+    def test_sweep_engine_flag_defaults(self):
+        args = build_parser().parse_args(["sweep", "checksum", "tmm"])
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_sweep_engine_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "latency", "tmm", "--jobs", "4", "--no-cache",
+             "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/c"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -72,6 +87,27 @@ class TestCommands:
         rc = main(["sweep", "cleaner", "tmm", "--threads", "2", "-p", "n=16"])
         assert rc == 0
         assert "period" in capsys.readouterr().out
+
+    def test_sweep_cached_rerun_hits(self, capsys, tmp_path):
+        argv = ["sweep", "checksum", "tmm", "--threads", "2", "-p", "n=16",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "[cache: 0/" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # every point served from the on-disk cache, identical table
+        hits = second[second.index("[cache: "):]
+        lookups = hits.split("/")[1].split(" ")[0]
+        assert f"[cache: {lookups}/{lookups} hits" in second
+        assert first.split("[cache")[0] == second.split("[cache")[0]
+
+    def test_sweep_no_cache_skips_cache(self, capsys, tmp_path):
+        rc = main(["sweep", "checksum", "tmm", "--threads", "2", "-p", "n=16",
+                   "--no-cache", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "[cache:" not in capsys.readouterr().out
+        assert not list(tmp_path.iterdir())
 
     def test_bad_param_format(self):
         with pytest.raises(SystemExit):

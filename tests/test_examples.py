@@ -7,9 +7,7 @@ same analysis-layer entry points they call.
 
 import importlib.util
 import pathlib
-import sys
 
-import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 

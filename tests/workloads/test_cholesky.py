@@ -42,9 +42,9 @@ class TestCorrectness:
         m = machine()
         bound = wl.bind(m, num_threads=2)
         m.run(bound.threads("lp"))
-        l = np.tril(bound.output())
+        low = np.tril(bound.output())
         p = bound.pristine.to_numpy()
-        assert np.allclose(l @ l.T, p)
+        assert np.allclose(low @ low.T, p)
 
     def test_matches_numpy_cholesky(self):
         wl = Cholesky(n=16, col_block=4)
@@ -79,5 +79,5 @@ class TestCrashRecovery:
         marks = []
         post.on_mark = lambda mark, cid, clock: marks.append(mark.label)
         post.run(rb.recovery_threads())
-        assert not any("repair" in l for l in marks)
+        assert not any("repair" in mark for mark in marks)
         assert rb.verify()

@@ -93,5 +93,5 @@ class TestCrashRecovery:
         marks = []
         post.on_mark = lambda mark, cid, clock: marks.append(mark.label)
         post.run(rb.recovery_threads())
-        assert not any("repair" in l for l in marks)
+        assert not any("repair" in mark for mark in marks)
         assert rb.verify()

@@ -32,15 +32,12 @@ class TestSpec:
 
     def test_stage_params(self):
         wl = FFT(n=16)
-        bound_params = [wl, None]
-        # l doubles, m halves, l*m == n/2 at every stage
+        # groups double, m halves, groups*m == n/2 at every stage
         spec = wl
-        from repro.workloads.fft import BoundFFT
-
         b = wl.bind(machine(), num_threads=1)
         for s in range(spec.stages):
-            l, m = b.stage_params(s)
-            assert l * m == spec.n // 2
+            groups, m = b.stage_params(s)
+            assert groups * m == spec.n // 2
 
 
 class TestCorrectness:

@@ -51,9 +51,9 @@ class TestCorrectness:
         p = bound.pristine.to_numpy()
         # reconstruct: L (unit lower from factors) @ U == P
         n = 16
-        l = np.tril(a, -1) + np.eye(n)
+        low = np.tril(a, -1) + np.eye(n)
         u = np.triu(a)
-        assert np.allclose(l @ u, p)
+        assert np.allclose(low @ u, p)
 
     def test_pivot_window_partial(self):
         wl = GaussElimination(n=16, row_block=4, pivots=3)

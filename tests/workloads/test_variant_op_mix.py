@@ -80,7 +80,6 @@ class TestTmmAccounting:
     def test_wal_store_amplification(self):
         """WAL stores ~3x the data stores: log addr + log value + data
         (plus status/count bookkeeping)."""
-        n = SPECS["tmm"]["n"]
         base_stores = run_traced("tmm", "base").count(Store)
         wal_stores = run_traced("tmm", "wal").count(Store)
         assert wal_stores > 2.8 * base_stores
