@@ -10,7 +10,7 @@ failure-free output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.sim.cleaner import PeriodicCleaner
 from repro.sim.config import MachineConfig
@@ -36,7 +36,10 @@ class CrashCampaignResult:
 
     @property
     def all_recovered(self) -> bool:
-        return all(t.recovered_ok for t in self.trials if t.crashed)
+        # Non-crashed trials (workload finished before the trigger)
+        # must verify too: a graceful run with wrong output is a bug,
+        # not a pass.
+        return all(t.recovered_ok for t in self.trials)
 
     @property
     def crashes(self) -> int:
@@ -57,8 +60,14 @@ def run_crash_campaign(
     num_threads: int = 2,
     engine: str = "modular",
     cleaner_period: Optional[float] = None,
+    variant: str = "lp",
 ) -> CrashCampaignResult:
-    """Crash an LP run at each op count, recover, verify exactness."""
+    """Crash a run at each op count, recover, verify exactness.
+
+    Recovery uses the variant's own procedure
+    (:meth:`BoundWorkload.recovery_threads_for`), so the campaign
+    exercises eager-marker and WAL recovery as faithfully as LP's.
+    """
     campaign = CrashCampaignResult(workload=workload.name)
     for at_op in crash_points:
         machine = Machine(config)
@@ -66,7 +75,7 @@ def run_crash_campaign(
             machine.cleaner = PeriodicCleaner(cleaner_period)
         bound = workload.bind(machine, num_threads=num_threads, engine=engine)
         result, post = run_with_crash(
-            machine, bound.threads("lp"), CrashPlan(at_op=at_op)
+            machine, bound.threads(variant), CrashPlan(at_op=at_op)
         )
         if not result.crashed:
             # workload finished first: nothing to recover, still verify
@@ -77,7 +86,7 @@ def run_crash_campaign(
         rebound = workload.bind(
             post, num_threads=num_threads, engine=engine, create=False
         )
-        rres = post.run(rebound.recovery_threads())
+        rres = post.run(rebound.recovery_threads_for(variant))
         campaign.trials.append(
             CrashTrial(
                 crash_at_op=at_op,
@@ -89,3 +98,109 @@ def run_crash_campaign(
             )
         )
     return campaign
+
+
+# ----------------------------------------------------------------------
+# crash-state checking campaigns (see repro.verify)
+# ----------------------------------------------------------------------
+
+
+def crash_plans_for(
+    workload: Workload,
+    config: MachineConfig,
+    variant: str,
+    op_points: int = 8,
+    max_flush_points: Optional[int] = 32,
+    num_threads: int = 2,
+    engine: str = "modular",
+) -> List[CrashPlan]:
+    """Crash triggers worth checking for one variant.
+
+    One profiling run (to completion, no crash) sizes the grid; the
+    plans are then an even ``at_op`` spread over the whole run plus
+    ``at_flush`` persist boundaries — right after each flush issues,
+    before any fence orders it, where the reachable-image set is
+    widest and missing-fence bugs live.  ``max_flush_points`` evenly
+    subsamples the boundaries when the run flushes more often than
+    that (None keeps them all).
+    """
+    machine = Machine(config)
+    bound = workload.bind(machine, num_threads=num_threads, engine=engine)
+    profile = machine.run(bound.threads(variant))
+
+    plans: List[CrashPlan] = []
+    if op_points > 0 and profile.ops_executed > 1:
+        step = max(1, profile.ops_executed // (op_points + 1))
+        ops = range(step, profile.ops_executed, step)
+        plans.extend(CrashPlan(at_op=o) for o in list(ops)[:op_points])
+
+    n_flushes = profile.flush_ops
+    if n_flushes:
+        if max_flush_points is None or n_flushes <= max_flush_points:
+            boundaries: Sequence[int] = range(1, n_flushes + 1)
+        else:
+            boundaries = sorted(
+                {
+                    max(1, round(i * n_flushes / max_flush_points))
+                    for i in range(1, max_flush_points + 1)
+                }
+            )
+        plans.extend(CrashPlan(at_flush=n) for n in boundaries)
+    return plans
+
+
+def run_crashcheck_campaign(
+    workload: Workload,
+    config: MachineConfig,
+    variants: Sequence[str],
+    op_points: int = 8,
+    max_flush_points: Optional[int] = 32,
+    max_exhaustive_events: int = 12,
+    samples: int = 64,
+    seed: int = 0,
+    num_threads: int = 2,
+    engine: str = "modular",
+    cleaner_period: Optional[float] = None,
+    n_jobs: int = 1,
+    cache=None,
+):
+    """Crash-state checking across variants, through the PR-1 engine.
+
+    Builds one :class:`~repro.analysis.runner.CrashCheckJob` per
+    variant (each spanning that variant's whole crash-point grid) and
+    fans them through :func:`~repro.analysis.runner.run_jobs`, so
+    campaigns parallelise and memoize exactly like experiment sweeps.
+    Returns ``{variant: CrashCheckReport}`` in input order.
+    """
+    from repro.analysis.runner import CrashCheckJob, run_jobs
+    from repro.verify import CrashCheckReport, plan_to_dict
+
+    jobs = []
+    for variant in variants:
+        plans = crash_plans_for(
+            workload,
+            config,
+            variant,
+            op_points=op_points,
+            max_flush_points=max_flush_points,
+            num_threads=num_threads,
+            engine=engine,
+        )
+        jobs.append(
+            CrashCheckJob(
+                workload=workload,
+                config=config,
+                variant=variant,
+                crash_plans=tuple(plan_to_dict(p) for p in plans),
+                max_exhaustive_events=max_exhaustive_events,
+                samples=samples,
+                seed=seed,
+                num_threads=num_threads,
+                engine=engine,
+                cleaner_period=cleaner_period,
+            )
+        )
+    reports = run_jobs(
+        jobs, n_jobs=n_jobs, cache=cache, decode=CrashCheckReport.from_dict
+    )
+    return dict(zip(variants, reports))

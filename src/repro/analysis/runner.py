@@ -47,7 +47,13 @@ CACHE_FORMAT_VERSION = 1
 #: The CLI, reporting, and benchmark drivers are deliberately absent:
 #: editing them cannot change a simulation's outcome, so sweeps stay
 #: cached across such edits.
-_VERSIONED_SUBTREES = ("sim", "core", "workloads", "analysis/experiments.py")
+_VERSIONED_SUBTREES = (
+    "sim",
+    "core",
+    "workloads",
+    "verify",
+    "analysis/experiments.py",
+)
 
 _code_version_memo: Optional[str] = None
 
@@ -170,6 +176,85 @@ class Job:
         )
 
 
+@dataclass(frozen=True)
+class CrashCheckJob:
+    """Spawn-safe descriptor of one crash-state checking campaign:
+    one (workload, variant) checked across a set of crash plans.
+
+    Same engine protocol as :class:`Job` — ``cache_key()`` + ``run()``
+    — so ``run_jobs`` fans crashcheck campaigns over the pool and the
+    on-disk cache exactly like experiment points (pass
+    ``decode=CrashCheckReport.from_dict`` when a cache is used).
+    """
+
+    workload: Workload
+    config: MachineConfig
+    variant: str
+    #: Crash triggers in ``repro.verify.plan_to_dict`` form (JSON-safe
+    #: and spawn-safe; rebuilt into CrashPlans inside the worker).
+    crash_plans: Tuple[Dict[str, float], ...]
+    max_exhaustive_events: int = 12
+    samples: int = 64
+    seed: int = 0
+    num_threads: int = 2
+    engine: str = "modular"
+    cleaner_period: Optional[float] = None
+
+    def cache_key(self) -> str:
+        """Content-addressed identity of this campaign's report."""
+        payload = json.dumps(
+            {
+                "kind": "crashcheck",
+                "workload": workload_spec(self.workload),
+                "config": self.config.cache_key(),
+                "variant": self.variant,
+                "crash_plans": list(self.crash_plans),
+                "max_exhaustive_events": self.max_exhaustive_events,
+                "samples": self.samples,
+                "seed": self.seed,
+                "num_threads": self.num_threads,
+                "engine": self.engine,
+                "cleaner_period": self.cleaner_period,
+                "code": code_version(),
+                "format": CACHE_FORMAT_VERSION,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def run(self):
+        """Execute the campaign (no cache); returns a CrashCheckReport."""
+        from repro.verify import (
+            EnumerationPlan,
+            check_variant,
+            plan_from_dict,
+        )
+
+        seed = int(self.cache_key()[:16], 16)
+        random.seed(seed)
+        try:
+            import numpy as np
+
+            np.random.seed(seed % (2**32))
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            pass
+        return check_variant(
+            self.workload,
+            self.config,
+            self.variant,
+            [plan_from_dict(d) for d in self.crash_plans],
+            EnumerationPlan(
+                max_exhaustive_events=self.max_exhaustive_events,
+                samples=self.samples,
+                seed=self.seed,
+            ),
+            num_threads=self.num_threads,
+            engine=self.engine,
+            cleaner_period=self.cleaner_period,
+        )
+
+
 def default_cache_dir() -> str:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-lazy-persistency``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -216,15 +301,25 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
-    def get(self, key: str) -> Optional[ExperimentResult]:
-        """The cached result for ``key``, or None on miss/corruption."""
+    def get(self, key: str, decode=None) -> Optional[ExperimentResult]:
+        """The cached result for ``key``, or None on miss/corruption.
+
+        ``decode`` rebuilds the result object from its stored dict;
+        the default is :meth:`ExperimentResult.from_dict`.  Crashcheck
+        campaigns pass ``CrashCheckReport.from_dict``.  A record that
+        the decoder rejects counts as corruption (miss + delete), so a
+        key collision across record kinds can never serve the wrong
+        type.
+        """
+        if decode is None:
+            decode = ExperimentResult.from_dict
         path = self._path(key)
         try:
             with open(path, "r") as fh:
                 record = json.load(fh)
             if record["format"] != CACHE_FORMAT_VERSION or record["key"] != key:
                 raise ValueError("cache record does not match its key")
-            result = ExperimentResult.from_dict(record["result"])
+            result = decode(record["result"])
         except FileNotFoundError:
             self.stats.misses += 1
             return None
@@ -287,6 +382,7 @@ def run_jobs(
     n_jobs: int = 1,
     cache: Optional[ResultCache] = None,
     mp_context: str = "spawn",
+    decode=None,
 ) -> List[ExperimentResult]:
     """Run experiment points, in parallel, through the result cache.
 
@@ -294,6 +390,11 @@ def run_jobs(
     order.  ``cache=None`` disables the on-disk cache entirely;
     ``n_jobs=1`` runs serially in-process (identical results, no pool).
     Duplicate jobs in one batch are simulated once.
+
+    Any job type implementing the ``cache_key()``/``run()`` protocol
+    works (:class:`Job`, :class:`CrashCheckJob`); its result must offer
+    ``to_dict()`` when a cache is used, and ``decode`` must be the
+    matching ``from_dict`` (defaults to ExperimentResult's).
     """
     if n_jobs < 1:
         raise ConfigError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -305,7 +406,7 @@ def run_jobs(
     for index, job in enumerate(jobs):
         key = job.cache_key()
         if cache is not None and key not in pending:
-            hit = cache.get(key)
+            hit = cache.get(key, decode=decode)
             if hit is not None:
                 results[index] = hit
                 continue

@@ -19,7 +19,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
-from repro.analysis.crashlab import run_crash_campaign
+from repro.analysis.crashlab import run_crash_campaign, run_crashcheck_campaign
 from repro.analysis.experiments import compare_variants, run_variant
 from repro.analysis.reporting import format_table
 from repro.analysis.runner import ResultCache
@@ -30,6 +30,7 @@ from repro.sim.config import (
     paper_machine,
     real_system_machine,
     scaled_machine,
+    tiny_machine,
 )
 from repro.workloads import available_workloads, get_workload
 
@@ -37,6 +38,18 @@ _PRESETS = {
     "scaled": scaled_machine,
     "paper": paper_machine,
     "real": real_system_machine,
+    "tiny": tiny_machine,
+}
+
+#: Problem sizes small enough for exhaustive crash-state enumeration.
+#: ``repro crashcheck`` applies these per-workload defaults when the
+#: user gives no ``-p`` overrides; performance commands never use them.
+_CRASHCHECK_PARAMS: Dict[str, Dict[str, object]] = {
+    "tmm": {"n": 8, "bsize": 4, "kk_tiles": 1},
+    "fft": {"n": 16},
+    "gauss": {"n": 8, "row_block": 4},
+    "cholesky": {"n": 8, "col_block": 4},
+    "conv2d": {"n": 8, "row_block": 2},
 }
 
 
@@ -182,6 +195,119 @@ def _cmd_crash(args) -> int:
         )
     )
     return 0 if trial.recovered_ok else 1
+
+
+def _cmd_crashcheck(args) -> int:
+    """Crash-state enumeration checker (see docs/crash_testing.md).
+
+    Exit code 0 when every checked variant behaves as expected: sound
+    variants pass on every reachable image, and deliberately broken
+    variants (``Workload.broken_variants``) are flagged with a
+    counterexample.  Anything else exits 1.
+    """
+    cls = get_workload(args.workload)
+    params = {
+        **_CRASHCHECK_PARAMS.get(args.workload, {}),
+        **_parse_params(args.param),
+    }
+    workload = cls(**params)
+    config = _PRESETS[args.machine](num_cores=max(args.threads + 1, 2))
+    if args.variants:
+        variants = args.variants.split(",")
+    else:
+        variants = [v for v in cls.variants if v != "base"]
+        variants += list(cls.broken_variants)
+    broken = set(cls.broken_variants)
+
+    op_points, max_flush, max_events, samples = (
+        args.points,
+        args.max_flush_points,
+        args.max_events,
+        args.samples,
+    )
+    if args.exhaustive:
+        # Push the exhaustive frontier up (2^14 images worst case per
+        # point); points with even more reorderable events — e.g. WAL
+        # log-write bursts of 17+ independent lines — stay sampled, or
+        # checking a single point would take minutes.
+        max_events = max(max_events, 14)
+    if args.nightly:
+        op_points = max(op_points, 32)
+        max_flush = None  # every persist boundary
+        max_events = max(max_events, 16)
+        samples = max(samples, 256)
+
+    cache = _cache(args)
+    reports = run_crashcheck_campaign(
+        workload,
+        config,
+        variants,
+        op_points=op_points,
+        max_flush_points=max_flush,
+        max_exhaustive_events=max_events,
+        samples=samples,
+        seed=args.seed,
+        num_threads=args.threads,
+        engine=args.engine,
+        cleaner_period=args.cleaner_period,
+        n_jobs=args.jobs,
+        cache=cache,
+    )
+
+    rows = []
+    ok_overall = True
+    for variant, report in reports.items():
+        crashed_points = sum(1 for p in report.points if p.crashed)
+        multi = sum(1 for p in report.points if p.images_checked > 1)
+        exhaustive = all(p.exhaustive for p in report.points)
+        if variant in broken:
+            expected = "counterexample" if not report.ok else "MISSED BUG"
+            ok_overall &= not report.ok
+        else:
+            expected = "pass" if report.ok else "FAIL"
+            ok_overall &= report.ok
+        rows.append(
+            [
+                variant,
+                len(report.points),
+                crashed_points,
+                report.images_checked,
+                multi,
+                report.max_events,
+                "yes" if exhaustive else "sampled",
+                len(report.counterexamples),
+                expected,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "variant",
+                "points",
+                "crashed",
+                "images",
+                "multi-image",
+                "max events",
+                "exhaustive",
+                "cex",
+                "verdict",
+            ],
+            rows,
+            title=f"{args.workload}: crash-state check",
+        )
+    )
+    for variant, report in reports.items():
+        for cex in report.counterexamples[:3]:
+            print(f"\n  {cex.describe()}")
+        extra = len(report.counterexamples) - 3
+        if extra > 0:
+            print(f"  ... and {extra} more for {variant}")
+    if cache is not None and cache.stats.lookups:
+        print(
+            f"\n[cache: {cache.stats.hits}/{cache.stats.lookups} hits "
+            f"({cache.root})]"
+        )
+    return 0 if ok_overall else 1
 
 
 def _cmd_idempotence(args) -> int:
@@ -343,6 +469,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_crash.add_argument("--at-op", type=int, required=True)
     p_crash.add_argument("--cleaner-period", type=float, default=None)
 
+    p_cc = sub.add_parser(
+        "crashcheck",
+        help="check recovery against every reachable post-crash image",
+    )
+    p_cc.add_argument(
+        "--workload", choices=available_workloads(), default="tmm",
+        help="workload to check (default: tmm)",
+    )
+    p_cc.add_argument("--threads", type=int, default=2)
+    p_cc.add_argument(
+        "--machine", choices=sorted(_PRESETS), default="tiny",
+        help="machine preset (default: tiny — small caches keep the "
+        "reachable-image space enumerable)",
+    )
+    p_cc.add_argument("--engine", default="modular")
+    p_cc.add_argument(
+        "-p", "--param", action="append", metavar="KEY=VALUE",
+        help="workload parameter (repeatable); defaults to a small "
+        "crashcheck-friendly problem size",
+    )
+    p_cc.add_argument(
+        "--variants", default=None,
+        help="comma-separated variants (default: all non-base variants "
+        "plus deliberately broken ones)",
+    )
+    p_cc.add_argument(
+        "--points", type=int, default=8, metavar="N",
+        help="evenly spaced at-op crash points (default 8)",
+    )
+    p_cc.add_argument(
+        "--max-flush-points", type=int, default=32, metavar="N",
+        help="cap on flush-boundary crash points (default 32)",
+    )
+    p_cc.add_argument(
+        "--max-events", type=int, default=12, metavar="N",
+        help="exhaustive enumeration frontier: points with more "
+        "reorderable events than this are sampled (default 12)",
+    )
+    p_cc.add_argument(
+        "--samples", type=int, default=64, metavar="N",
+        help="sampled images per crash point above the frontier",
+    )
+    p_cc.add_argument("--seed", type=int, default=0)
+    p_cc.add_argument(
+        "--exhaustive", action="store_true",
+        help="enumerate every reachable image at every crash point",
+    )
+    p_cc.add_argument(
+        "--nightly", action="store_true",
+        help="deep sweep: every flush boundary, dense op grid, more "
+        "samples",
+    )
+    p_cc.add_argument("--cleaner-period", type=float, default=None)
+    engine_flags(p_cc)
+
     p_sweep = sub.add_parser("sweep", help="parameter sweeps")
     p_sweep.add_argument(
         "kind", choices=["checksum", "latency", "threads", "cleaner"]
@@ -375,6 +556,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "crash": _cmd_crash,
+        "crashcheck": _cmd_crashcheck,
         "sweep": _cmd_sweep,
         "idempotence": _cmd_idempotence,
         "reproduce": _cmd_reproduce,

@@ -187,13 +187,20 @@ class Hierarchy:
     # ------------------------------------------------------------------
 
     def flush_line(
-        self, line_addr: int, now: float, invalidate: bool, cause: str = "flush"
+        self,
+        line_addr: int,
+        now: float,
+        invalidate: bool,
+        cause: str = "flush",
+        core_id: Optional[int] = None,
     ) -> Tuple[bool, float]:
         """Persist a line (and invalidate it for clflushopt).
 
         Returns ``(wrote, completion_time)``; ``completion_time`` is
         when the data was accepted into the ADR domain (== ``now`` when
-        nothing was dirty).
+        nothing was dirty).  ``core_id`` names the core whose fence
+        orders this flush (persist-order tracking); hardware-initiated
+        writebacks (cleaner, drain) pass None and are durable at once.
         """
         dirty_since: Optional[float] = None
         dirty = False
@@ -231,7 +238,9 @@ class Hierarchy:
         if not dirty:
             return False, now
         arrival = now + self.config.flush_transit_cycles
-        accept = self.mc.accept_write(line_addr, arrival, cause, dirty_since)
+        accept = self.mc.accept_write(
+            line_addr, arrival, cause, dirty_since, core_id
+        )
         return True, accept
 
     def clean_all(self, now: float, cause: str = "cleaner") -> int:

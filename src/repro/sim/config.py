@@ -214,6 +214,23 @@ def scaled_machine(num_cores: int = 9) -> MachineConfig:
     )
 
 
+def tiny_machine(num_cores: int = 4) -> MachineConfig:
+    """A deliberately small machine for crash-state enumeration.
+
+    Crashcheck campaigns re-run recovery once per reachable NVMM image,
+    so they want the smallest machine that still exercises the full
+    stack: few cores, caches small enough that evictions and dirty
+    lines actually occur at toy problem sizes, and the standard NVMM
+    timing.  Not a performance preset — timing experiments use the
+    scaled/paper machines.
+    """
+    return MachineConfig(
+        num_cores=num_cores,
+        l1=CacheConfig(1 * 1024, 2, hit_cycles=2.0),
+        l2=CacheConfig(4 * 1024, 4, hit_cycles=11.0),
+    )
+
+
 def real_system_machine(num_cores: int = 9) -> MachineConfig:
     """The Table III AMD Opteron DRAM machine (Table VII experiment).
 

@@ -160,7 +160,8 @@ class Core:
             self._stall_to(self.flush_queue.earliest_free(self.clock))
         self.clock += self.config.flush_issue_cycles
         wrote, accept_time = self.hierarchy.flush_line(
-            line_of(addr), self.clock, invalidate=invalidate
+            line_of(addr), self.clock, invalidate=invalidate,
+            core_id=self.core_id,
         )
         completion = max(accept_time, self.clock)
         self.flush_queue.push(completion)
@@ -187,6 +188,11 @@ class Core:
         if target > self.clock:
             self.stats.fence_stall_cycles += target - self.clock
             self._stall_to(target)
+        tracker = self.hierarchy.mc.tracker
+        if tracker is not None:
+            # The retired sfence orders every previously accepted flush
+            # from this core into the persistence domain.
+            tracker.on_fence(self.core_id, self.clock)
 
     def _stall_to(self, target: float) -> None:
         """Advance the clock through a structural stall, charging the

@@ -14,19 +14,29 @@ from typing import Iterable, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.machine import Machine, RunResult, ThreadGen
+from repro.sim.persist import CrashStateSpace
 
 
 @dataclass(frozen=True)
 class CrashPlan:
-    """Where to stop the run.  Exactly one trigger must be set."""
+    """Where to stop the run.  Exactly one trigger must be set.
+
+    ``at_flush`` stops right after the Nth flush op — a persist
+    boundary, where a just-accepted flush has no ordering fence behind
+    it yet and the reachable-image set is at its widest.  Crash-state
+    campaigns sweep it alongside coarse ``at_op`` grids.
+    """
 
     at_op: Optional[int] = None
     at_cycle: Optional[float] = None
     at_mark: Optional[int] = None
+    at_flush: Optional[int] = None
 
     def __post_init__(self) -> None:
         triggers = [
-            t for t in (self.at_op, self.at_cycle, self.at_mark) if t is not None
+            t
+            for t in (self.at_op, self.at_cycle, self.at_mark, self.at_flush)
+            if t is not None
         ]
         if len(triggers) != 1:
             raise ConfigError("CrashPlan needs exactly one trigger")
@@ -50,5 +60,32 @@ def run_with_crash(
         crash_at_op=plan.at_op,
         crash_at_cycle=plan.at_cycle,
         crash_at_mark=plan.at_mark,
+        crash_at_flush=plan.at_flush,
     )
     return result, machine.after_crash()
+
+
+def run_to_crash_space(
+    machine: Machine,
+    threads: Iterable[ThreadGen],
+    plan: CrashPlan,
+) -> Tuple[RunResult, Optional[CrashStateSpace]]:
+    """Run until the crash point and snapshot the *set* of reachable
+    NVMM images (see :meth:`Machine.crash_state_space`).
+
+    Returns ``(result, space)``; ``space`` is None when the workload
+    finished before the trigger fired (nothing crashed, nothing to
+    enumerate).  This is the model-checking counterpart of
+    :func:`run_with_crash`, which commits to the single image the
+    simulated schedule produced.
+    """
+    result = machine.run(
+        threads,
+        crash_at_op=plan.at_op,
+        crash_at_cycle=plan.at_cycle,
+        crash_at_mark=plan.at_mark,
+        crash_at_flush=plan.at_flush,
+    )
+    if not result.crashed:
+        return result, None
+    return result, machine.crash_state_space()

@@ -25,8 +25,9 @@ from repro.sim.address import Allocator, Region
 from repro.sim.coherence import Hierarchy
 from repro.sim.config import MachineConfig
 from repro.sim.core import Core
-from repro.sim.isa import Barrier, Op, RegionMark
+from repro.sim.isa import Barrier, Flush, FlushWB, Op, RegionMark
 from repro.sim.nvmm import MemoryController
+from repro.sim.persist import CrashStateSpace, PersistOrderTracker
 from repro.sim.stats import MachineStats
 from repro.sim.valuestore import MemoryState
 
@@ -43,6 +44,8 @@ class RunResult:
     region_marks: int
     finished_threads: int
     total_threads: int
+    #: Flush/FlushWB ops executed (bounds the at_flush crash trigger).
+    flush_ops: int = 0
 
     @property
     def exec_cycles(self) -> float:
@@ -77,7 +80,17 @@ class Machine:
             else Allocator(config.memory_bytes)
         )
         self.stats = MachineStats().for_cores(config.num_cores)
-        self.mc = MemoryController(config.nvmm, self.mem, self.stats)
+        #: Persist-order recorder for crash-state enumeration.  Only
+        #: meaningful under ADR; the pre-ADR platform's durability is
+        #: completion-timed and handled by the MC undo records.
+        self.persist_tracker = (
+            PersistOrderTracker(self.mem, adr=True)
+            if config.nvmm.adr
+            else None
+        )
+        self.mc = MemoryController(
+            config.nvmm, self.mem, self.stats, self.persist_tracker
+        )
         self.hierarchy = Hierarchy(config, self.mem, self.stats, self.mc)
         self.cores = [
             Core(i, config.core, self.hierarchy, self.mem, self.stats.per_core[i])
@@ -129,6 +142,7 @@ class Machine:
         crash_at_op: Optional[int] = None,
         crash_at_cycle: Optional[float] = None,
         crash_at_mark: Optional[int] = None,
+        crash_at_flush: Optional[int] = None,
         op_limit: Optional[int] = None,
     ) -> RunResult:
         """Drive thread generators to completion (or crash/limit).
@@ -162,6 +176,7 @@ class Machine:
         }
         ops_executed = 0
         region_marks = 0
+        flush_ops = 0
         crashed = False
         finished = 0
         barrier_wait: List[int] = []
@@ -212,6 +227,17 @@ class Machine:
             pending_result[cid] = core.execute(op)
             ops_executed += 1
 
+            if isinstance(op, (Flush, FlushWB)):
+                # Persist-boundary crash trigger: stop right after the
+                # Nth flush issued, i.e. with its line accepted by the
+                # MC but any ordering fence still ahead — the instants
+                # where the reachable-image set is at its widest.
+                flush_ops += 1
+                if crash_at_flush is not None and flush_ops >= crash_at_flush:
+                    crashed = True
+                    self.mc.discard_in_flight(core.clock)
+                    break
+
             if isinstance(op, RegionMark):
                 region_marks += 1
                 if self.on_mark is not None:
@@ -236,6 +262,7 @@ class Machine:
             region_marks=region_marks,
             finished_threads=finished,
             total_threads=len(gens),
+            flush_ops=flush_ops,
         )
 
     # ------------------------------------------------------------------
@@ -254,6 +281,39 @@ class Machine:
             _mem=self.mem.crashed_copy(),
             _allocator=self.allocator,
         )
+
+    def crash_state_space(self) -> CrashStateSpace:
+        """The set of NVMM images a crash *now* could expose.
+
+        Call on a machine whose run just crashed: combines the persist
+        tracker's pending (unfenced) flushes with the hierarchy's dirty
+        lines into a persist-order constraint graph whose order ideals
+        are exactly the reachable post-crash images (see
+        :mod:`repro.sim.persist` and :mod:`repro.verify`).
+        """
+        if self.persist_tracker is None:
+            raise ConfigError(
+                "crash-state enumeration requires an ADR machine "
+                "(config.nvmm.adr=True)"
+            )
+        crash_time = max(c.clock for c in self.cores)
+        return self.persist_tracker.snapshot(
+            self.hierarchy.dirty_line_addrs(), crash_time
+        )
+
+    def after_crash_with_image(self, image: Dict[int, float]) -> "Machine":
+        """A post-crash machine whose NVMM holds ``image``.
+
+        ``image`` is one member of :meth:`crash_state_space`'s reachable
+        set (or any address->value map); the rebuilt machine has cold
+        caches and architectural state equal to the image, exactly like
+        :meth:`after_crash` but for a chosen image instead of the one
+        the simulated schedule happened to produce.
+        """
+        mem = MemoryState()
+        mem.persistent = dict(image)
+        mem.arch = dict(image)
+        return Machine(self.config, _mem=mem, _allocator=self.allocator)
 
     # -- value introspection ------------------------------------------------
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.sim.address import element_addrs_of_line
 from repro.sim.config import NVMMConfig
+from repro.sim.persist import PersistOrderTracker
 from repro.sim.stats import MachineStats
 from repro.sim.valuestore import MemoryState
 
@@ -43,10 +44,13 @@ class MemoryController:
         config: NVMMConfig,
         mem: MemoryState,
         stats: MachineStats,
+        tracker: Optional[PersistOrderTracker] = None,
     ) -> None:
         self.config = config
         self.mem = mem
         self.stats = stats
+        #: Optional persist-order recorder (crash-state enumeration).
+        self.tracker = tracker
         #: Time the device write pipe frees up.
         self._write_pipe_free = 0.0
         #: Time the device read path frees up.
@@ -81,6 +85,7 @@ class MemoryController:
         now: float,
         cause: str,
         dirty_since: Optional[float] = None,
+        core_id: Optional[int] = None,
     ) -> float:
         """Accept a dirty line into the MC write queue.
 
@@ -90,7 +95,7 @@ class MemoryController:
         caller needs acceptance and durability separately.
         """
         accept, durable = self.accept_write_timed(
-            line_addr, now, cause, dirty_since
+            line_addr, now, cause, dirty_since, core_id
         )
         return durable
 
@@ -100,6 +105,7 @@ class MemoryController:
         now: float,
         cause: str,
         dirty_since: Optional[float] = None,
+        core_id: Optional[int] = None,
     ) -> Tuple[float, float]:
         """Accept a write; returns ``(accept_time, durable_time)``."""
         accept_time = max(now, self._queue_slot_free_time(now))
@@ -119,6 +125,10 @@ class MemoryController:
             }
             self._undo.append(_UndoRecord(completion, line_addr, prior))
 
+        if self.tracker is not None:
+            # Must run before persist_line: flush events snapshot the
+            # persistent values they are about to overwrite.
+            self.tracker.on_accept(line_addr, cause, core_id, accept_time)
         self.mem.persist_line(line_addr)
         self.stats.count_write(cause, line_addr=line_addr)
         durable_time = accept_time if self.config.adr else completion

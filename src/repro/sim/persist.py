@@ -1,0 +1,265 @@
+"""Persist-order tracking: which NVMM writes are *guaranteed* durable
+at a crash, and which are still reorderable under ADR.
+
+The base simulator commits a line's data to the persistent image the
+moment the memory controller accepts it, and a crash keeps exactly that
+image.  That models one *schedule*, but a real crash exposes a **set**
+of NVMM images:
+
+* ``clflushopt``/``clwb`` are weakly ordered — a flush whose following
+  ``sfence`` has not retired may or may not have reached the ADR
+  domain when power fails;
+* a dirty cache line can be written back by the hardware at *any*
+  moment, so each dirty line at the crash may or may not have made it
+  to the MC with its current data, independent of every other line.
+
+This module records, during a run, the information needed to
+reconstruct that set exactly:
+
+* **floor** — writes that are durable in *every* reachable image:
+  natural evictions, cleaner/drain writebacks (ADR accepts them
+  directly), and flushes ordered by a completed ``sfence``;
+* **pending flush events** — MC-accepted flushes whose fence had not
+  retired; each may independently be present or absent (subject to
+  same-line ordering below);
+* **dirty-line events** — lines still dirty in the hierarchy at the
+  crash, discovered by the crash snapshot;
+* **persist-order edges** — same-line events form a chain (an older
+  version of a line can only be observed if no newer persist of that
+  line happened; choosing a newer event subsumes the older ones), so a
+  reachable image corresponds to a *downward-closed* subset (an order
+  ideal) of the event graph.
+
+:class:`CrashStateSpace` is the crash-time snapshot consumed by
+:mod:`repro.verify` to enumerate and check every reachable image.
+Tracking is ADR-only: with ``adr=False`` durability is governed by
+device completion times and the in-flight undo machinery in
+:mod:`repro.sim.nvmm`, so :meth:`PersistOrderTracker.snapshot` refuses
+to run (``ConfigError``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.address import element_addrs_of_line
+from repro.sim.valuestore import MemoryState
+
+#: Event kinds.
+KIND_FLUSH = "flush"
+KIND_DIRTY = "dirty"
+
+
+@dataclass(frozen=True)
+class PersistEvent:
+    """One potentially-durable NVMM write that a crash may or may not
+    have made visible."""
+
+    #: Stable id; ids increase in persist order along each line's chain.
+    eid: int
+    line_addr: int
+    kind: str
+    #: Issuing core for flushes (fence scoping); None for dirty lines.
+    core_id: Optional[int]
+    #: MC accept time (flush) or crash time (dirty line).
+    time: float
+    #: Element values this event makes persistent if it "happened".
+    values: Dict[int, float]
+    #: Persistent values it overwrote (``None`` = address was absent);
+    #: only flush events carry this (their effect must be undoable).
+    prior: Dict[int, Optional[float]] = field(default_factory=dict)
+
+
+@dataclass
+class CrashStateSpace:
+    """Everything reachable from one crash point.
+
+    ``floor`` maps element address -> value durable in every image.
+    ``events`` are the reorderable persists; ``edges`` is a list of
+    ``(before_eid, after_eid)`` pairs meaning *after* can only be in an
+    image if *before* is (same-line version chains).  Images are in
+    bijection with the order ideals of this DAG, up to value collisions.
+    """
+
+    floor: Dict[int, float]
+    events: List[PersistEvent]
+    edges: List[Tuple[int, int]]
+    crash_time: float = 0.0
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    def event(self, eid: int) -> PersistEvent:
+        for ev in self.events:
+            if ev.eid == eid:
+                return ev
+        raise KeyError(f"no persist event with id {eid}")
+
+    def image_for(self, chosen_eids) -> Dict[int, float]:
+        """Materialize the NVMM image for a downward-closed event set.
+
+        Events apply in id order; same-line chains have increasing ids,
+        so the newest chosen version of each line wins.
+        """
+        chosen = set(chosen_eids)
+        image = dict(self.floor)
+        for ev in self.events:
+            if ev.eid in chosen:
+                image.update(ev.values)
+        return image
+
+    def schedule_eids(self) -> List[int]:
+        """Events the simulator's own schedule persisted (all pending
+        flushes, no extra dirty-line writebacks) — the image the plain
+        single-image crash path observes."""
+        return [ev.eid for ev in self.events if ev.kind == KIND_FLUSH]
+
+
+class PersistOrderTracker:
+    """Runtime recorder of pending (unfenced) flush persists.
+
+    The memory controller calls :meth:`on_accept` for every write it
+    accepts; cores call :meth:`on_fence` when an ``sfence`` retires.
+    Dirty lines are not tracked during the run — they are discovered by
+    the crash snapshot from the cache hierarchy.
+    """
+
+    def __init__(self, mem: MemoryState, adr: bool) -> None:
+        self.mem = mem
+        self.adr = adr
+        self._next_eid = 0
+        #: Pending flush events, in acceptance order.
+        self._pending: List[PersistEvent] = []
+
+    # -- hooks ------------------------------------------------------------
+
+    def on_accept(
+        self,
+        line_addr: int,
+        cause: str,
+        core_id: Optional[int],
+        accept_time: float,
+    ) -> None:
+        """Called by the MC *before* it copies the line's data into the
+        persistent image."""
+        if cause == "flush" and core_id is not None:
+            prior = {
+                addr: self.mem.persistent.get(addr)
+                for addr in element_addrs_of_line(line_addr)
+            }
+            values = {
+                addr: self.mem.arch[addr]
+                for addr in element_addrs_of_line(line_addr)
+                if addr in self.mem.arch
+            }
+            self._pending.append(
+                PersistEvent(
+                    eid=self._next_eid,
+                    line_addr=line_addr,
+                    kind=KIND_FLUSH,
+                    core_id=core_id,
+                    time=accept_time,
+                    values=values,
+                    prior=prior,
+                )
+            )
+            self._next_eid += 1
+            return
+        # Evictions, the cleaner, and drains are hardware writebacks the
+        # ADR domain accepted: durable, and they supersede any older
+        # uncertainty about this line.
+        self._absorb_line(line_addr)
+
+    def on_fence(self, core_id: int, now: float) -> None:
+        """An sfence retired on ``core_id``: its accepted flushes are
+        now ordered into the persistence domain — durable for sure."""
+        self._pending = [
+            ev
+            for ev in self._pending
+            if not (ev.core_id == core_id and ev.time <= now)
+        ]
+
+    def _absorb_line(self, line_addr: int) -> None:
+        self._pending = [
+            ev for ev in self._pending if ev.line_addr != line_addr
+        ]
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def pending_flush_count(self) -> int:
+        return len(self._pending)
+
+    def pending_lines(self) -> List[int]:
+        """Line addresses with at least one unfenced flush outstanding."""
+        return sorted({ev.line_addr for ev in self._pending})
+
+    # -- crash snapshot ---------------------------------------------------
+
+    def snapshot(
+        self, dirty_line_addrs, crash_time: float
+    ) -> CrashStateSpace:
+        """Build the reachable-image space at a crash.
+
+        ``dirty_line_addrs`` is the hierarchy's dirty-line set at the
+        crash instant; their *current architectural* values are what a
+        last-moment hardware writeback would have persisted.
+        """
+        if not self.adr:
+            raise ConfigError(
+                "crash-state enumeration requires ADR (adr=True); the "
+                "pre-ADR platform's durability is completion-timed and "
+                "is modelled by the MC undo records instead"
+            )
+        # Floor: the persistent image with every pending (unfenced)
+        # flush undone, newest-first so overlapping flushes restore the
+        # oldest surviving values.
+        floor = dict(self.mem.persistent)
+        for ev in reversed(self._pending):
+            for addr, value in ev.prior.items():
+                if value is None:
+                    floor.pop(addr, None)
+                else:
+                    floor[addr] = value
+
+        events: List[PersistEvent] = list(self._pending)
+        for line_addr in sorted(dirty_line_addrs):
+            values = {
+                addr: self.mem.arch[addr]
+                for addr in element_addrs_of_line(line_addr)
+                if addr in self.mem.arch
+            }
+            if not values:
+                continue
+            events.append(
+                PersistEvent(
+                    eid=self._next_eid,
+                    line_addr=line_addr,
+                    kind=KIND_DIRTY,
+                    core_id=None,
+                    time=crash_time,
+                    values=values,
+                )
+            )
+            self._next_eid += 1
+
+        # Same-line chains: an event is only observable if every older
+        # event on the same line also "happened" (its values are what
+        # the newer write overwrote on the way to the MC).
+        edges: List[Tuple[int, int]] = []
+        by_line: Dict[int, List[PersistEvent]] = {}
+        for ev in sorted(events, key=lambda e: e.eid):
+            chain = by_line.setdefault(ev.line_addr, [])
+            if chain:
+                edges.append((chain[-1].eid, ev.eid))
+            chain.append(ev)
+
+        return CrashStateSpace(
+            floor=floor,
+            events=sorted(events, key=lambda e: e.eid),
+            edges=edges,
+            crash_time=crash_time,
+        )

@@ -1,0 +1,57 @@
+"""Crash-state enumeration and checking (``repro.verify``).
+
+The simulator's plain crash path exposes the single NVMM image its
+schedule produced.  This package checks recovery against *every*
+reachable image instead: :mod:`repro.sim.persist` records the
+persist-order constraint graph during the run, :mod:`repro.verify.graph`
+enumerates its order ideals (each one a reachable image),
+:mod:`repro.verify.enumerate` materializes and deduplicates the images,
+and :mod:`repro.verify.checker` runs recovery on each and shrinks any
+failure to a minimal replayable counterexample.
+"""
+
+from repro.verify.checker import (
+    Counterexample,
+    CrashCheckReport,
+    CrashPointReport,
+    check_crash_point,
+    check_variant,
+    describe_plan,
+    minimize_failure,
+    plan_from_dict,
+    plan_to_dict,
+    replay_counterexample,
+)
+from repro.verify.enumerate import (
+    EnumeratedImage,
+    EnumerationPlan,
+    enumerate_images,
+)
+from repro.verify.graph import (
+    count_ideals,
+    is_ideal,
+    iter_ideals,
+    sample_ideals,
+    topo_order,
+)
+
+__all__ = [
+    "Counterexample",
+    "CrashCheckReport",
+    "CrashPointReport",
+    "check_crash_point",
+    "check_variant",
+    "describe_plan",
+    "minimize_failure",
+    "plan_from_dict",
+    "plan_to_dict",
+    "replay_counterexample",
+    "EnumeratedImage",
+    "EnumerationPlan",
+    "enumerate_images",
+    "count_ideals",
+    "is_ideal",
+    "iter_ideals",
+    "sample_ideals",
+    "topo_order",
+]

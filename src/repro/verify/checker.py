@@ -1,0 +1,395 @@
+"""The crash-state checker: recovery must succeed on *every* image.
+
+For one (workload, variant, crash point) the checker
+
+1. runs the variant to the crash point and snapshots the reachable
+   image space (:func:`repro.sim.crash.run_to_crash_space`);
+2. enumerates candidate images (:mod:`repro.verify.enumerate`) —
+   exhaustively below the frontier, seeded-sampled above it;
+3. for each image builds the post-crash machine, rebinds the workload,
+   runs the variant's recovery threads, and verifies the final output
+   exactly;
+4. on failure, shrinks the failing event set to a minimal order ideal
+   (greedy removal of maximal events while the failure persists) and
+   reports a replayable :class:`Counterexample`.
+
+The old single-image path (:mod:`repro.analysis.crashlab`) checks one
+schedule; this checker covers the whole reorderable space, which is
+what catches missing-fence bugs the simulator's synchronous flush
+acceptance otherwise hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.sim.cleaner import PeriodicCleaner
+from repro.sim.config import MachineConfig
+from repro.sim.crash import CrashPlan, run_to_crash_space
+from repro.sim.machine import Machine
+from repro.sim.persist import CrashStateSpace
+from repro.verify.enumerate import EnumerationPlan, enumerate_images
+from repro.verify.graph import is_ideal
+from repro.workloads.base import Workload
+
+
+def plan_to_dict(plan: CrashPlan) -> Dict[str, float]:
+    """The one set trigger of a CrashPlan, as a serializable dict."""
+    out: Dict[str, float] = {}
+    for key in ("at_op", "at_cycle", "at_mark", "at_flush"):
+        value = getattr(plan, key)
+        if value is not None:
+            out[key] = value
+    return out
+
+
+def plan_from_dict(d: Dict[str, float]) -> CrashPlan:
+    """Inverse of :func:`plan_to_dict`."""
+    kwargs: Dict[str, float] = dict(d)
+    if "at_cycle" in kwargs:
+        kwargs["at_cycle"] = float(kwargs["at_cycle"])
+    return CrashPlan(
+        **{k: (v if k == "at_cycle" else int(v)) for k, v in kwargs.items()}
+    )
+
+
+def describe_plan(plan: CrashPlan) -> str:
+    return ",".join(f"{k[3:]}={v}" for k, v in plan_to_dict(plan).items())
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A reachable NVMM image on which recovery produced wrong output.
+
+    Replayable from the fields alone: rebuild the same (workload,
+    config, variant, crash point) run, snapshot the space, and apply
+    ``minimized_eids`` — see :func:`replay_counterexample`.
+    """
+
+    workload: str
+    variant: str
+    #: The crash trigger, as ``plan_to_dict`` of the CrashPlan.
+    crash: Dict[str, float]
+    #: Enumeration seed (meaningful in sampled mode; recorded always).
+    seed: int
+    #: The failing order ideal as first found.
+    eids: Sequence[int]
+    #: Smallest failing ideal the shrinker reached.
+    minimized_eids: Sequence[int]
+    #: The minimized image itself, for offline inspection.
+    image: Dict[int, float]
+
+    def crash_plan(self) -> CrashPlan:
+        return plan_from_dict(self.crash)
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload}/{self.variant} "
+            f"crash@{describe_plan(self.crash_plan())}: "
+            f"recovery failed on image with events "
+            f"{sorted(self.minimized_eids)} "
+            f"(shrunk from {len(self.eids)}; replay seed {self.seed})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "crash": dict(self.crash),
+            "seed": self.seed,
+            "eids": list(self.eids),
+            "minimized_eids": list(self.minimized_eids),
+            "image": {str(a): v for a, v in self.image.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Counterexample":
+        return cls(
+            workload=d["workload"],
+            variant=d["variant"],
+            crash=dict(d["crash"]),
+            seed=int(d["seed"]),
+            eids=tuple(int(e) for e in d["eids"]),
+            minimized_eids=tuple(int(e) for e in d["minimized_eids"]),
+            image={int(a): float(v) for a, v in d["image"].items()},
+        )
+
+
+@dataclass
+class CrashPointReport:
+    """Checker outcome at one crash point."""
+
+    crash: Dict[str, float]
+    crashed: bool
+    num_events: int = 0
+    num_edges: int = 0
+    images_checked: int = 0
+    exhaustive: bool = True
+    counterexamples: List[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "crash": dict(self.crash),
+            "crashed": self.crashed,
+            "num_events": self.num_events,
+            "num_edges": self.num_edges,
+            "images_checked": self.images_checked,
+            "exhaustive": self.exhaustive,
+            "counterexamples": [c.to_dict() for c in self.counterexamples],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "CrashPointReport":
+        return cls(
+            crash=dict(d["crash"]),
+            crashed=bool(d["crashed"]),
+            num_events=int(d["num_events"]),
+            num_edges=int(d["num_edges"]),
+            images_checked=int(d["images_checked"]),
+            exhaustive=bool(d["exhaustive"]),
+            counterexamples=[
+                Counterexample.from_dict(c) for c in d["counterexamples"]
+            ],
+        )
+
+
+@dataclass
+class CrashCheckReport:
+    """Checker outcome for one (workload, variant) across crash points."""
+
+    workload: str
+    variant: str
+    points: List[CrashPointReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.points)
+
+    @property
+    def images_checked(self) -> int:
+        return sum(p.images_checked for p in self.points)
+
+    @property
+    def max_events(self) -> int:
+        return max((p.num_events for p in self.points), default=0)
+
+    @property
+    def counterexamples(self) -> List[Counterexample]:
+        return [c for p in self.points for c in p.counterexamples]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "variant": self.variant,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "CrashCheckReport":
+        return cls(
+            workload=d["workload"],
+            variant=d["variant"],
+            points=[CrashPointReport.from_dict(p) for p in d["points"]],
+        )
+
+
+# ----------------------------------------------------------------------
+# core checking machinery
+# ----------------------------------------------------------------------
+
+
+def _recovery_fails(
+    crashed_machine: Machine,
+    workload: Workload,
+    variant: str,
+    image: Dict[int, float],
+    num_threads: int,
+    engine: str,
+) -> bool:
+    """True when recovery on ``image`` yields wrong final output."""
+    post = crashed_machine.after_crash_with_image(image)
+    rebound = workload.bind(
+        post, num_threads=num_threads, engine=engine, create=False
+    )
+    post.run(rebound.recovery_threads_for(variant))
+    return not rebound.verify()
+
+
+def minimize_failure(
+    space: CrashStateSpace,
+    failing: FrozenSet[int],
+    fails: Callable[[FrozenSet[int]], bool],
+) -> FrozenSet[int]:
+    """Shrink a failing event set to a minimal failing order ideal.
+
+    Greedy: repeatedly try dropping one maximal event (one with no
+    chosen successor, so the remainder stays downward-closed); keep any
+    drop that still fails.  The result is 1-minimal — removing any
+    single further event either breaks the ideal property or makes
+    recovery succeed.
+    """
+    nodes = [ev.eid for ev in space.events]
+    current = set(failing)
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        # Highest ids first: same-line chains shed newest versions first.
+        for eid in sorted(current, reverse=True):
+            candidate = current - {eid}
+            if not is_ideal(candidate, nodes, space.edges):
+                continue
+            if fails(frozenset(candidate)):
+                current = candidate
+                shrinking = True
+                break
+    return frozenset(current)
+
+
+def check_crash_point(
+    workload: Workload,
+    config: MachineConfig,
+    variant: str,
+    crash: CrashPlan,
+    plan: EnumerationPlan,
+    num_threads: int = 2,
+    engine: str = "modular",
+    cleaner_period: Optional[float] = None,
+) -> CrashPointReport:
+    """Run ``variant`` to the ``crash`` trigger, enumerate every
+    reachable image, and check recovery against each."""
+    crash_key = plan_to_dict(crash)
+    machine = Machine(config)
+    if cleaner_period is not None:
+        machine.cleaner = PeriodicCleaner(cleaner_period)
+    bound = workload.bind(machine, num_threads=num_threads, engine=engine)
+    result, space = run_to_crash_space(machine, bound.threads(variant), crash)
+    if space is None:
+        # Finished before the trigger: a graceful end must still verify.
+        report = CrashPointReport(crash=crash_key, crashed=False)
+        if not bound.verify():
+            report.counterexamples.append(
+                Counterexample(
+                    workload=workload.name,
+                    variant=variant,
+                    crash=crash_key,
+                    seed=plan.seed,
+                    eids=(),
+                    minimized_eids=(),
+                    image={},
+                )
+            )
+        return report
+
+    report = CrashPointReport(
+        crash=crash_key,
+        crashed=True,
+        num_events=space.num_events,
+        num_edges=len(space.edges),
+        exhaustive=plan.is_exhaustive_for(space),
+    )
+
+    def fails(eids: FrozenSet[int]) -> bool:
+        return _recovery_fails(
+            machine,
+            workload,
+            variant,
+            space.image_for(eids),
+            num_threads,
+            engine,
+        )
+
+    known: List[FrozenSet[int]] = []
+    for candidate in enumerate_images(space, plan):
+        report.images_checked += 1
+        if not fails(candidate.eids):
+            continue
+        if any(k <= candidate.eids for k in known):
+            # An already-reported minimal failure is contained in this
+            # image: same root cause, don't shrink or report it again.
+            continue
+        minimized = minimize_failure(space, candidate.eids, fails)
+        known.append(frozenset(minimized))
+        report.counterexamples.append(
+            Counterexample(
+                workload=workload.name,
+                variant=variant,
+                crash=crash_key,
+                seed=plan.seed,
+                eids=tuple(sorted(candidate.eids)),
+                minimized_eids=tuple(sorted(minimized)),
+                image=space.image_for(minimized),
+            )
+        )
+    return report
+
+
+def check_variant(
+    workload: Workload,
+    config: MachineConfig,
+    variant: str,
+    crash_plans: Sequence[CrashPlan],
+    plan: EnumerationPlan,
+    num_threads: int = 2,
+    engine: str = "modular",
+    cleaner_period: Optional[float] = None,
+    stop_on_failure: bool = False,
+) -> CrashCheckReport:
+    """Check one variant at each crash point; see
+    :func:`check_crash_point`."""
+    report = CrashCheckReport(workload=workload.name, variant=variant)
+    for crash in crash_plans:
+        point = check_crash_point(
+            workload,
+            config,
+            variant,
+            crash,
+            plan,
+            num_threads=num_threads,
+            engine=engine,
+            cleaner_period=cleaner_period,
+        )
+        report.points.append(point)
+        if stop_on_failure and not point.ok:
+            break
+    return report
+
+
+def replay_counterexample(
+    workload: Workload,
+    config: MachineConfig,
+    counterexample: Counterexample,
+    num_threads: int = 2,
+    engine: str = "modular",
+    cleaner_period: Optional[float] = None,
+) -> bool:
+    """Re-run a counterexample from its replay fields.
+
+    Returns True when the failure reproduces (recovery on the minimized
+    image is still wrong).  Deterministic: the run, the snapshot, and
+    the event ids all reproduce from (workload, config, crash point).
+    """
+    machine = Machine(config)
+    if cleaner_period is not None:
+        machine.cleaner = PeriodicCleaner(cleaner_period)
+    bound = workload.bind(machine, num_threads=num_threads, engine=engine)
+    _, space = run_to_crash_space(
+        machine,
+        bound.threads(counterexample.variant),
+        counterexample.crash_plan(),
+    )
+    if space is None:
+        return False
+    image = space.image_for(counterexample.minimized_eids)
+    return _recovery_fails(
+        machine,
+        workload,
+        counterexample.variant,
+        image,
+        num_threads,
+        engine,
+    )

@@ -1,0 +1,103 @@
+"""Reachable NVMM image enumeration for a :class:`CrashStateSpace`.
+
+Wraps the generic order-ideal machinery of :mod:`repro.verify.graph`
+with the policy the checker needs:
+
+* **exhaustive** below a configurable frontier (``num_events <=
+  max_exhaustive_events``): every order ideal, hence every reachable
+  image;
+* **sampled** above it: seeded-random ideals with deterministic
+  replay, always augmented with the three distinguished ideals —
+  the floor (nothing extra persisted), the full set (everything
+  persisted), and the simulator's own schedule — so the sampled mode
+  never misses the cases the old single-image path covered.
+
+Images are deduplicated by content: distinct ideals can collide on the
+same address->value map (e.g. a dirty line whose value never changed),
+and checking a duplicate image buys nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.persist import CrashStateSpace
+from repro.verify.graph import iter_ideals, sample_ideals
+
+
+@dataclass(frozen=True)
+class EnumeratedImage:
+    """One candidate post-crash NVMM image and the event set behind it."""
+
+    eids: FrozenSet[int]
+    image: Dict[int, float]
+
+    def key(self) -> Tuple[Tuple[int, float], ...]:
+        return tuple(sorted(self.image.items()))
+
+
+@dataclass(frozen=True)
+class EnumerationPlan:
+    """Bounds for image enumeration.
+
+    ``max_exhaustive_events`` is the frontier: at or below it every
+    order ideal is generated; above it ``samples`` seeded ideals are
+    drawn with ``seed`` (plus the floor/full/schedule ideals, always).
+    ``max_images`` hard-caps the exhaustive yield as a safety valve
+    for pathological graphs.
+    """
+
+    max_exhaustive_events: int = 12
+    samples: int = 64
+    seed: int = 0
+    max_images: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_exhaustive_events < 0:
+            raise ConfigError("max_exhaustive_events must be >= 0")
+        if self.samples < 1:
+            raise ConfigError("samples must be >= 1")
+        if self.max_images < 1:
+            raise ConfigError("max_images must be >= 1")
+
+    def is_exhaustive_for(self, space: CrashStateSpace) -> bool:
+        return space.num_events <= self.max_exhaustive_events
+
+
+def _ideal_stream(
+    space: CrashStateSpace, plan: EnumerationPlan
+) -> Iterator[FrozenSet[int]]:
+    nodes = [ev.eid for ev in space.events]
+    if plan.is_exhaustive_for(space):
+        count = 0
+        for ideal in iter_ideals(nodes, space.edges):
+            yield ideal
+            count += 1
+            if count >= plan.max_images:
+                break
+        return
+    # Sampled mode: distinguished ideals first so they always survive
+    # the sample budget, then the seeded draws.
+    yield frozenset()
+    yield frozenset(nodes)
+    yield frozenset(space.schedule_eids())
+    for ideal in sample_ideals(nodes, space.edges, plan.seed, plan.samples):
+        yield ideal
+
+
+def enumerate_images(
+    space: CrashStateSpace, plan: EnumerationPlan
+) -> List[EnumeratedImage]:
+    """All candidate images for ``space`` under ``plan``, deduplicated
+    by image content (first event set producing each image wins)."""
+    out: List[EnumeratedImage] = []
+    seen: Set[Tuple[Tuple[int, float], ...]] = set()
+    for ideal in _ideal_stream(space, plan):
+        candidate = EnumeratedImage(eids=ideal, image=space.image_for(ideal))
+        key = candidate.key()
+        if key not in seen:
+            seen.add(key)
+            out.append(candidate)
+    return out

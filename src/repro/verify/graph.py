@@ -1,0 +1,167 @@
+"""Order-ideal enumeration over persist-order constraint graphs.
+
+A crash's reachable NVMM images are the *downward-closed* subsets
+(order ideals) of the persist-order DAG recorded by
+:mod:`repro.sim.persist`: an event (a potentially-durable write) can
+only be in an image if every event it depends on is too.  The number
+of order ideals of a poset equals its number of antichains, which is
+what the property tests cross-check by brute force.
+
+Two traversal modes:
+
+* :func:`iter_ideals` — exhaustive, deterministic (lexicographic in
+  event order).  Exponential in the worst case; callers bound it by
+  event count or a yield cap.
+* :func:`sample_ideals` — seeded-random ideals with deterministic
+  replay: the same ``(nodes, edges, seed)`` always produces the same
+  sequence, so any sampled failure is replayable from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import ConfigError
+
+Edge = Tuple[int, int]
+
+
+def _direct_preds(
+    nodes: Sequence[int], edges: Iterable[Edge]
+) -> Dict[int, Set[int]]:
+    """pred map: node -> nodes that must be present for it to be."""
+    node_set = set(nodes)
+    if len(node_set) != len(list(nodes)):
+        raise ConfigError("duplicate node ids in persist graph")
+    preds: Dict[int, Set[int]] = {n: set() for n in nodes}
+    for before, after in edges:
+        if before not in node_set or after not in node_set:
+            raise ConfigError(
+                f"edge ({before}, {after}) references unknown node"
+            )
+        preds[after].add(before)
+    return preds
+
+
+def topo_order(nodes: Sequence[int], edges: Iterable[Edge]) -> List[int]:
+    """Deterministic topological order (stable: falls back to id order).
+
+    Raises ConfigError on a cycle — persist order must be a DAG.
+    """
+    preds = _direct_preds(nodes, edges)
+    remaining: Dict[int, Set[int]] = {n: set(p) for n, p in preds.items()}
+    succs: Dict[int, List[int]] = {n: [] for n in nodes}
+    for before, after in edges:
+        succs[before].append(after)
+    ready = sorted(n for n, p in remaining.items() if not p)
+    order: List[int] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        newly = []
+        for nxt in succs[node]:
+            remaining[nxt].discard(node)
+            if not remaining[nxt]:
+                newly.append(nxt)
+        if newly:
+            ready = sorted(ready + newly)
+    if len(order) != len(list(nodes)):
+        raise ConfigError("persist-order graph has a cycle")
+    return order
+
+
+def is_ideal(
+    subset: Iterable[int], nodes: Sequence[int], edges: Iterable[Edge]
+) -> bool:
+    """True if ``subset`` is downward-closed under ``edges``."""
+    chosen = set(subset)
+    return all(before in chosen for before, after in edges if after in chosen)
+
+
+def iter_ideals(
+    nodes: Sequence[int], edges: Iterable[Edge]
+) -> Iterator[FrozenSet[int]]:
+    """Yield every order ideal, deterministically.
+
+    The empty ideal comes first and the full set last; between them the
+    order is the binary-counter order over the topological sequence
+    (exclude branches before include branches).
+    """
+    order = topo_order(nodes, edges)
+    preds = _direct_preds(nodes, edges)
+    chosen: Set[int] = set()
+
+    def rec(i: int) -> Iterator[FrozenSet[int]]:
+        if i == len(order):
+            yield frozenset(chosen)
+            return
+        node = order[i]
+        yield from rec(i + 1)
+        if preds[node] <= chosen:
+            chosen.add(node)
+            yield from rec(i + 1)
+            chosen.remove(node)
+
+    yield from rec(0)
+
+
+def count_ideals(nodes: Sequence[int], edges: Iterable[Edge]) -> int:
+    """Number of order ideals (== number of antichains) of the DAG.
+
+    Computed by the same traversal as :func:`iter_ideals` without
+    materializing the sets.
+    """
+    order = topo_order(nodes, edges)
+    preds = _direct_preds(nodes, edges)
+    chosen: Set[int] = set()
+
+    def rec(i: int) -> int:
+        if i == len(order):
+            return 1
+        node = order[i]
+        total = rec(i + 1)
+        if preds[node] <= chosen:
+            chosen.add(node)
+            total += rec(i + 1)
+            chosen.remove(node)
+        return total
+
+    return rec(0)
+
+
+def sample_ideals(
+    nodes: Sequence[int],
+    edges: Iterable[Edge],
+    seed: int,
+    count: int,
+    include_prob: float = 0.5,
+) -> List[FrozenSet[int]]:
+    """``count`` seeded-random order ideals, deduplicated, replayable.
+
+    Sweeps the topological order including each eligible node with
+    probability ``include_prob``; a node whose predecessors were
+    excluded is skipped (closure by construction).  Identical
+    ``(nodes, edges, seed, count)`` inputs return identical output —
+    counterexamples reference only the seed to replay.
+    """
+    if count < 0:
+        raise ConfigError(f"sample count must be >= 0, got {count}")
+    order = topo_order(nodes, edges)
+    preds = _direct_preds(nodes, edges)
+    rng = random.Random(seed)
+    out: List[FrozenSet[int]] = []
+    seen: Set[FrozenSet[int]] = set()
+    # 4x oversampling bounds the draw loop when dedup discards many.
+    for _ in range(4 * count):
+        if len(out) >= count:
+            break
+        chosen: Set[int] = set()
+        for node in order:
+            if preds[node] <= chosen and rng.random() < include_prob:
+                chosen.add(node)
+        ideal = frozenset(chosen)
+        if ideal not in seen:
+            seen.add(ideal)
+            out.append(ideal)
+    return out

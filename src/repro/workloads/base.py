@@ -67,6 +67,17 @@ class BoundWorkload(ABC):
         during recovery cannot lose progress (section III-E).
         """
 
+    def recovery_threads_for(self, variant: str) -> List[ThreadGen]:
+        """Recovery threads for the variant that crashed.
+
+        The default hands back :meth:`recovery_threads`, which is only
+        correct when that path is conservative — able to rebuild the
+        output from any reachable image regardless of which variant
+        wrote it.  Workloads whose eager/WAL recovery trusts markers or
+        logs override this to dispatch per variant.
+        """
+        return self.recovery_threads()
+
     # -- verification -----------------------------------------------------------
 
     @abstractmethod
@@ -99,6 +110,10 @@ class Workload(ABC):
     name: str = "abstract"
     #: Variants this workload implements.
     variants: Tuple[str, ...] = (VARIANT_BASE, VARIANT_LP, VARIANT_EP)
+    #: Deliberately broken variants, runnable but excluded from the
+    #: performance sweeps (``variants``): fault-injection targets the
+    #: crash checker must flag (e.g. tmm's ``ep_nofence``).
+    broken_variants: Tuple[str, ...] = ()
 
     @abstractmethod
     def bind(
@@ -112,8 +127,8 @@ class Workload(ABC):
 
     def check_variant(self, variant: str) -> None:
         """Raise WorkloadError for variants this workload lacks."""
-        if variant not in self.variants:
+        if variant not in self.variants and variant not in self.broken_variants:
             raise WorkloadError(
                 f"workload {self.name!r} has no variant {variant!r}; "
-                f"available: {self.variants}"
+                f"available: {self.variants + self.broken_variants}"
             )

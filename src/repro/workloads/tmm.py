@@ -71,6 +71,15 @@ GRANULARITIES = ("jj", "ii", "kk")
 REPAIR_MODES = ("scratch", "incremental")
 CHECKSUM_ORGS = ("table", "embedded")
 
+#: Fault-injection variant: EagerRecompute with the data fence before
+#: the progress-marker commit removed.  The marker's own flush can then
+#: persist ahead of the tile's data flushes, so an image exists where
+#: the marker claims a tile that is not durable — marker-trusting
+#: recovery produces wrong output on it.  The crash checker must find
+#: and minimize exactly that image (the plain single-image crash path
+#: cannot: the simulated schedule persists data and marker together).
+VARIANT_EP_NOFENCE = "ep_nofence"
+
 
 @register
 class TiledMatMul(Workload):
@@ -78,6 +87,7 @@ class TiledMatMul(Workload):
 
     name = "tmm"
     variants = (VARIANT_BASE, VARIANT_LP, VARIANT_EP, VARIANT_WAL)
+    broken_variants = (VARIANT_EP_NOFENCE,)
 
     def __init__(
         self,
@@ -173,10 +183,11 @@ class BoundTMM(BoundWorkload):
             else machine.region(f"tmm.progress.{t}")
             for t in range(num_threads)
         ]
-        # WAL logs, one per thread, sized for one region's writes.
+        # WAL logs, one per thread, sized for one region's writes plus
+        # the progress marker committed inside the same transaction.
         self.logs = [
             WriteAheadLog(
-                machine, f"tmm.log.{t}", capacity=b * n, create=create
+                machine, f"tmm.log.{t}", capacity=b * n + 1, create=create
             )
             for t in range(num_threads)
         ]
@@ -286,6 +297,10 @@ class BoundTMM(BoundWorkload):
         n, b, T = spec.n, spec.bsize, spec.tiles
         kk, ii = kkt * b, iit * b
         gran = spec.granularity
+        if variant in (VARIANT_EP, VARIANT_EP_NOFENCE):
+            for jjt in range(T):
+                yield from self._ep_tile(variant, tid, kkt, iit, jjt)
+            return
         ck: Optional[RegionChecksum] = None
         wal_writes: List[tuple] = []
         if variant == VARIANT_LP:
@@ -312,24 +327,12 @@ class BoundTMM(BoundWorkload):
                         yield from self.c.write(i, j, s)
                     if ck is not None:
                         yield from ck.update(s)  # UpdateCheckSum(c[i][j])
-                if variant == VARIANT_EP:
-                    # EagerRecompute: persist the finished row stride
-                    # (bsize elements = one clflushopt per covered line).
-                    yield from persist_addrs(self.c.row_addrs(i, jj, jj + b))
             if variant == VARIANT_LP and gran == "jj":
                 assert ck is not None
                 yield from self._commit_slot(
                     ck, kkt, iit, jjt, tid,
                     eager=self.spec.eager_checksum,
                 )
-            if variant == VARIANT_EP:
-                # "A transaction covers a single tile": wait for the
-                # tile's flushes, then durably bump the progress marker.
-                yield Fence()
-                marker = self.markers[tid]
-                yield Store(marker.base, float((kkt * T + iit) * T + jjt))
-                yield Flush(marker.base)
-                yield Fence()
 
         if variant == VARIANT_LP and gran == "ii":
             assert ck is not None
@@ -337,7 +340,71 @@ class BoundTMM(BoundWorkload):
                 ck, kkt, iit, None, tid, eager=self.spec.eager_checksum
             )
         elif variant == VARIANT_WAL:
+            # The progress marker commits inside the transaction so a
+            # rollback restores it together with the data it describes.
+            wal_writes.append(
+                (self.markers[tid].base, float(kkt * T + iit))
+            )
             yield from self.logs[tid].transaction(wal_writes)
+
+    def _ep_tile(
+        self, variant: str, tid: int, kkt: int, iit: int, jjt: int
+    ) -> Generator[Op, Optional[float], None]:
+        """One EagerRecompute tile: compute + flush the rows, fence the
+        data, then durably bump the progress marker ("a transaction
+        covers a single tile").  The ``ep_nofence`` fault drops the data
+        fence, letting the marker's flush race ahead of the data's."""
+        spec = self.spec
+        b, T = spec.bsize, spec.tiles
+        kk, ii, jj = kkt * b, iit * b, jjt * b
+        for i in range(ii, ii + b):
+            for j in range(jj, jj + b):
+                s = yield from self.c.read(i, j)
+                for k in range(kk, kk + b):
+                    av = yield from self.a.read(i, k)
+                    bv = yield from self.b.read(k, j)
+                    s += av * bv
+                yield Compute(2 * b)  # the k-loop multiply-adds
+                yield from self.c.write(i, j, s)
+            # EagerRecompute: persist the finished row stride
+            # (bsize elements = one clflushopt per covered line).
+            yield from persist_addrs(self.c.row_addrs(i, jj, jj + b))
+        if variant == VARIANT_EP:
+            # wait for the tile's flushes before claiming progress
+            yield Fence()
+        marker = self.markers[tid]
+        yield Store(marker.base, float(self._tile_seq(kkt, iit, jjt)))
+        yield Flush(marker.base)
+        yield Fence()
+
+    # ------------------------------------------------------------------
+    # progress-marker encoding (EP and WAL recovery)
+    # ------------------------------------------------------------------
+
+    def _tile_seq(self, kkt: int, iit: int, jjt: int) -> int:
+        """Marker encoding of an EP tile; strictly increasing along any
+        one thread's (kkt, iit, jjt) traversal order."""
+        T = self.spec.tiles
+        return (kkt * T + iit) * T + jjt
+
+    def _ep_tile_order(self, tid: int) -> List[tuple]:
+        """All of ``tid``'s EP tiles, in execution order."""
+        T = self.spec.tiles
+        return [
+            (kkt, iit, jjt)
+            for kkt in range(self.spec.kk_tiles)
+            for iit in self.my_ii_tiles(tid)
+            for jjt in range(T)
+        ]
+
+    def _wal_region_order(self, tid: int) -> List[tuple]:
+        """All of ``tid``'s WAL regions (kkt, iit), in execution order;
+        the marker for region (kkt, iit) is ``kkt * tiles + iit``."""
+        return [
+            (kkt, iit)
+            for kkt in range(self.spec.kk_tiles)
+            for iit in self.my_ii_tiles(tid)
+        ]
 
     # ------------------------------------------------------------------
     # recovery (Figure 9)
@@ -345,6 +412,91 @@ class BoundTMM(BoundWorkload):
 
     def recovery_threads(self) -> List[ThreadGen]:
         return [self._recover(tid) for tid in range(self.num_threads)]
+
+    def recovery_threads_for(self, variant: str) -> List[ThreadGen]:
+        if variant in (VARIANT_EP, VARIANT_EP_NOFENCE):
+            return [self._recover_ep(tid) for tid in range(self.num_threads)]
+        if variant == VARIANT_WAL:
+            return [self._recover_wal(tid) for tid in range(self.num_threads)]
+        # lp (and base, which has no recovery story of its own) uses the
+        # checksum scan: it rebuilds from any reachable image.
+        return self.recovery_threads()
+
+    def _recover_ep(self, tid: int) -> ThreadGen:
+        """Marker-trusting EagerRecompute recovery.
+
+        Tiles at or before the durable marker are trusted — the data
+        fence preceding the marker commit made them durable first.
+        Every later tile is recomputed from the pristine inputs to its
+        last marked state (its c values may be a partial mix from the
+        interrupted pass), then execution resumes after the marker.
+        Sound for ``ep``; deliberately unsound for ``ep_nofence``,
+        whose missing data fence lets the marker outrun the data.
+        """
+        yield RegionMark(f"tmm:recover-ep:t{tid}")
+        raw = yield Load(self.markers[tid].base)
+        done = int(raw) if raw is not None else -1
+        order = self._ep_tile_order(tid)
+        done_pos = sum(
+            1 for t in order if self._tile_seq(*t) <= done
+        )
+        # Repair: recompute each unmarked (iit, jjt) tile once, from
+        # a/b alone, up to its last marked kk pass.
+        todo: List[tuple] = []
+        for _, iit, jjt in order[done_pos:]:
+            if (iit, jjt) not in todo:
+                todo.append((iit, jjt))
+        for iit, jjt in todo:
+            last = max(
+                (
+                    kkt
+                    for kkt, i2, j2 in order[:done_pos]
+                    if i2 == iit and j2 == jjt
+                ),
+                default=None,
+            )
+            yield RegionMark(f"tmm:recover-ep:t{tid}:repair:ii{iit}:jj{jjt}")
+            yield from self._ep_repair_tile(iit, jjt, last)
+        # Resume EagerRecompute (with its fences) after the marker.
+        for kkt, iit, jjt in order[done_pos:]:
+            yield from self._ep_tile(VARIANT_EP, tid, kkt, iit, jjt)
+
+    def _ep_repair_tile(
+        self, iit: int, jjt: int, last_kkt: Optional[int]
+    ) -> Generator[Op, Optional[float], None]:
+        """Restore one tile to its state after kk pass ``last_kkt``
+        (zero if None) without reading c; persist eagerly."""
+        b = self.spec.bsize
+        ii, jj = iit * b, jjt * b
+        k_hi = 0 if last_kkt is None else (last_kkt + 1) * b
+        for i in range(ii, ii + b):
+            for j in range(jj, jj + b):
+                s = 0.0
+                for k in range(k_hi):
+                    av = yield from self.a.read(i, k)
+                    bv = yield from self.b.read(k, j)
+                    s += av * bv
+                if k_hi:
+                    yield Compute(2 * k_hi)
+                yield from self.c.write(i, j, s)
+            yield from persist_addrs(self.c.row_addrs(i, jj, jj + b))
+        yield Fence()
+
+    def _recover_wal(self, tid: int) -> ThreadGen:
+        """WAL recovery: roll back the interrupted transaction — which
+        restores the in-transaction progress marker together with the
+        data it describes — then resume from the region after the
+        marker."""
+        yield RegionMark(f"tmm:recover-wal:t{tid}")
+        yield from self.logs[tid].recovery_ops()
+        raw = yield Load(self.markers[tid].base)
+        done = int(raw) if raw is not None else -1
+        T = self.spec.tiles
+        for kkt, iit in self._wal_region_order(tid):
+            if kkt * T + iit <= done:
+                continue
+            yield RegionMark(f"tmm:wal:resume:kk{kkt}:ii{iit}")
+            yield from self._region(VARIANT_WAL, tid, kkt, iit, None)
 
     def _recover(self, tid: int) -> ThreadGen:
         """Reverse-scan, repair own blocks, resume normal execution."""

@@ -198,3 +198,62 @@ class TestResultRoundtrip:
         data["bogus"] = 1
         with pytest.raises(KeyError):
             ExperimentResult.from_dict(data)
+
+
+class TestCrashCheckJob:
+    def make_job(self, **kw):
+        from repro.analysis.runner import CrashCheckJob
+
+        kw.setdefault("workload", TiledMatMul(n=8, bsize=4, kk_tiles=1))
+        kw.setdefault("config", config())
+        kw.setdefault("variant", "ep")
+        kw.setdefault("crash_plans", ({"at_flush": 2}, {"at_op": 100}))
+        kw.setdefault("max_exhaustive_events", 8)
+        kw.setdefault("samples", 4)
+        return CrashCheckJob(**kw)
+
+    def test_run_returns_report(self):
+        report = self.make_job().run()
+        assert report.variant == "ep"
+        assert len(report.points) == 2
+        assert report.ok
+
+    def test_cache_key_distinct_from_experiment_jobs(self):
+        job = self.make_job()
+        exp = Job(TiledMatMul(n=8, bsize=4, kk_tiles=1), config(), "ep")
+        assert job.cache_key() != exp.cache_key()
+
+    def test_cache_key_sensitive_to_plans_and_bounds(self):
+        keys = {
+            self.make_job().cache_key(),
+            self.make_job(crash_plans=({"at_flush": 3},)).cache_key(),
+            self.make_job(max_exhaustive_events=9).cache_key(),
+            self.make_job(samples=5).cache_key(),
+            self.make_job(seed=1).cache_key(),
+            self.make_job(variant="lp").cache_key(),
+        }
+        assert len(keys) == 6
+
+    def test_run_jobs_with_decode_roundtrips_cache(self, tmp_path):
+        from repro.verify import CrashCheckReport
+
+        cache = ResultCache(str(tmp_path))
+        decode = CrashCheckReport.from_dict
+        (first,) = run_jobs([self.make_job()], cache=cache, decode=decode)
+        assert cache.stats.stores == 1
+        (second,) = run_jobs([self.make_job()], cache=cache, decode=decode)
+        assert cache.stats.hits == 1
+        assert second.to_dict() == first.to_dict()
+
+    def test_decode_mismatch_treated_as_corruption(self, tmp_path):
+        # An ExperimentResult record must never decode as a crashcheck
+        # report (or vice versa): the decoder rejects it, the engine
+        # re-runs.
+        from repro.verify import CrashCheckReport
+
+        cache = ResultCache(str(tmp_path))
+        (result,) = run_jobs(jobs_for(("lp",)), cache=cache)
+        key = jobs_for(("lp",))[0].cache_key()
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(key, decode=CrashCheckReport.from_dict) is None
+        assert fresh.stats.corrupt == 1

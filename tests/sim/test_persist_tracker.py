@@ -1,0 +1,148 @@
+"""Tests for the persist-order tracker (repro.sim.persist)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.address import element_addrs_of_line
+from repro.sim.config import LINE_BYTES, tiny_machine
+from repro.sim.crash import CrashPlan, run_to_crash_space
+from repro.sim.machine import Machine
+from repro.sim.persist import KIND_DIRTY, KIND_FLUSH, PersistOrderTracker
+from repro.sim.valuestore import MemoryState
+
+LINE_A = 4 * LINE_BYTES
+LINE_B = 8 * LINE_BYTES
+
+
+def make_state(lines=(LINE_A, LINE_B)):
+    mem = MemoryState()
+    for line in lines:
+        for addr in element_addrs_of_line(line):
+            mem.init(addr, 0.0)
+    return mem
+
+
+def accept_flush(mem, tracker, line, core_id, time, value):
+    """What the MC does for a clflushopt acceptance: notify the
+    tracker (which snapshots prior persistent values), then commit."""
+    for addr in element_addrs_of_line(line):
+        mem.store(addr, value)
+    tracker.on_accept(line, "flush", core_id, time)
+    mem.persist_line(line)
+
+
+class TestTrackerHooks:
+    def test_flush_is_pending_until_fence(self):
+        mem = make_state()
+        tracker = PersistOrderTracker(mem, adr=True)
+        accept_flush(mem, tracker, LINE_A, core_id=0, time=10.0, value=1.0)
+        assert tracker.pending_flush_count == 1
+        tracker.on_fence(core_id=0, now=20.0)
+        assert tracker.pending_flush_count == 0
+
+    def test_fence_is_per_core(self):
+        mem = make_state()
+        tracker = PersistOrderTracker(mem, adr=True)
+        accept_flush(mem, tracker, LINE_A, core_id=0, time=10.0, value=1.0)
+        accept_flush(mem, tracker, LINE_B, core_id=1, time=11.0, value=2.0)
+        tracker.on_fence(core_id=0, now=20.0)
+        assert tracker.pending_lines() == [LINE_B]
+
+    def test_fence_only_covers_earlier_flushes(self):
+        mem = make_state()
+        tracker = PersistOrderTracker(mem, adr=True)
+        accept_flush(mem, tracker, LINE_A, core_id=0, time=30.0, value=1.0)
+        tracker.on_fence(core_id=0, now=20.0)  # retired before the accept
+        assert tracker.pending_flush_count == 1
+
+    def test_writeback_absorbs_pending_flush(self):
+        # An eviction/cleaner writeback of the same line supersedes the
+        # flush uncertainty: the line is durable either way.
+        mem = make_state()
+        tracker = PersistOrderTracker(mem, adr=True)
+        accept_flush(mem, tracker, LINE_A, core_id=0, time=10.0, value=1.0)
+        tracker.on_accept(LINE_A, "cleaner", None, 15.0)
+        assert tracker.pending_flush_count == 0
+
+
+class TestSnapshot:
+    def test_floor_undoes_pending_flushes_newest_first(self):
+        mem = make_state()
+        tracker = PersistOrderTracker(mem, adr=True)
+        accept_flush(mem, tracker, LINE_A, core_id=0, time=10.0, value=1.0)
+        accept_flush(mem, tracker, LINE_A, core_id=0, time=12.0, value=2.0)
+        space = tracker.snapshot(dirty_line_addrs=[], crash_time=20.0)
+        addr = LINE_A
+        # Neither unfenced flush is guaranteed: floor keeps the init 0.0.
+        assert space.floor[addr] == 0.0
+        assert [ev.values[addr] for ev in space.events] == [1.0, 2.0]
+        # Same-line versions chain oldest -> newest.
+        assert space.edges == [(space.events[0].eid, space.events[1].eid)]
+
+    def test_fenced_flush_is_floor_not_event(self):
+        mem = make_state()
+        tracker = PersistOrderTracker(mem, adr=True)
+        accept_flush(mem, tracker, LINE_A, core_id=0, time=10.0, value=3.0)
+        tracker.on_fence(core_id=0, now=11.0)
+        space = tracker.snapshot(dirty_line_addrs=[], crash_time=20.0)
+        assert space.num_events == 0
+        assert space.floor[LINE_A] == 3.0
+
+    def test_dirty_lines_become_events(self):
+        mem = make_state()
+        tracker = PersistOrderTracker(mem, adr=True)
+        for addr in element_addrs_of_line(LINE_B):
+            mem.store(addr, 9.0)
+        space = tracker.snapshot(dirty_line_addrs=[LINE_B], crash_time=30.0)
+        assert space.num_events == 1
+        (event,) = space.events
+        assert event.kind == KIND_DIRTY
+        assert event.values[LINE_B] == 9.0
+        assert space.floor[LINE_B] == 0.0
+
+    def test_image_for_applies_newest_chosen_version(self):
+        mem = make_state()
+        tracker = PersistOrderTracker(mem, adr=True)
+        accept_flush(mem, tracker, LINE_A, core_id=0, time=10.0, value=1.0)
+        accept_flush(mem, tracker, LINE_A, core_id=0, time=12.0, value=2.0)
+        space = tracker.snapshot(dirty_line_addrs=[], crash_time=20.0)
+        first, second = (ev.eid for ev in space.events)
+        assert space.image_for([])[LINE_A] == 0.0
+        assert space.image_for([first])[LINE_A] == 1.0
+        assert space.image_for([first, second])[LINE_A] == 2.0
+
+    def test_non_adr_snapshot_refused(self):
+        tracker = PersistOrderTracker(make_state(), adr=False)
+        with pytest.raises(ConfigError):
+            tracker.snapshot(dirty_line_addrs=[], crash_time=0.0)
+
+
+class TestMachineIntegration:
+    def test_schedule_image_matches_single_image_crash_path(self):
+        """image_for(schedule_eids) must reproduce exactly the NVMM
+        image the plain crash path committed: floor + every pending
+        flush, no extra dirty-line writebacks."""
+        from repro.workloads.tmm import TiledMatMul
+
+        workload = TiledMatMul(n=8, bsize=4, kk_tiles=1)
+        machine = Machine(tiny_machine())
+        bound = workload.bind(machine, num_threads=2, engine="modular")
+        result, space = run_to_crash_space(
+            machine, bound.threads("lp"), CrashPlan(at_op=300)
+        )
+        assert result.crashed and space is not None
+        image = space.image_for(space.schedule_eids())
+        assert image == machine.mem.persistent
+
+    def test_flush_boundary_crash_has_pending_events(self):
+        from repro.workloads.tmm import TiledMatMul
+
+        workload = TiledMatMul(n=8, bsize=4, kk_tiles=1)
+        machine = Machine(tiny_machine())
+        bound = workload.bind(machine, num_threads=2, engine="modular")
+        result, space = run_to_crash_space(
+            machine, bound.threads("ep"), CrashPlan(at_flush=3)
+        )
+        assert result.crashed
+        assert result.flush_ops == 3
+        assert any(ev.kind == KIND_FLUSH for ev in space.events)

@@ -122,3 +122,59 @@ class TestCommands:
             "granularity": "ii",
             "eager_checksum": True,
         }
+
+
+class TestCrashcheck:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["crashcheck"])
+        assert args.workload == "tmm"
+        assert args.machine == "tiny"
+        assert args.exhaustive is False
+        assert args.nightly is False
+        assert args.jobs == 1
+
+    def test_parser_accepts_acceptance_invocation(self):
+        args = build_parser().parse_args(
+            ["crashcheck", "--workload", "tmm", "--exhaustive"]
+        )
+        assert args.workload == "tmm"
+        assert args.exhaustive is True
+
+    def test_tiny_preset_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_sound_variant_passes(self, capsys):
+        rc = main(
+            ["crashcheck", "--workload", "tmm", "--variants", "ep",
+             "--points", "2", "--max-flush-points", "4", "--max-events", "8",
+             "--samples", "4", "--no-cache"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crash-state check" in out
+        assert "pass" in out
+
+    def test_broken_variant_reported_but_expected(self, capsys):
+        rc = main(
+            ["crashcheck", "--workload", "tmm",
+             "--variants", "ep,ep_nofence", "--points", "0",
+             "--max-flush-points", "12", "--max-events", "8",
+             "--samples", "4", "--no-cache"]
+        )
+        # ep passes and ep_nofence is flagged: both expected -> exit 0.
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "counterexample" in out
+        assert "recovery failed on image" in out
+
+    def test_missed_bug_fails_exit_code(self, capsys):
+        # An empty crash grid can't produce a counterexample: the
+        # checker must treat an unflagged broken variant as a failure.
+        rc = main(
+            ["crashcheck", "--workload", "tmm", "--variants", "ep_nofence",
+             "--points", "0", "--max-flush-points", "0", "--max-events", "6",
+             "--samples", "4", "--no-cache"]
+        )
+        assert rc == 1
+        assert "MISSED BUG" in capsys.readouterr().out

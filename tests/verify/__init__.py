@@ -1,0 +1,1 @@
+"""Tests for the crash-state enumeration checker (repro.verify)."""

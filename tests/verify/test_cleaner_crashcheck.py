@@ -1,0 +1,128 @@
+"""PeriodicCleaner x crash-state interaction, across the registry.
+
+The cleaner's guarantee is durability: once it writes a line back, the
+ADR domain has accepted that line, so the line's data must be present
+in *every* reachable post-crash image — it can never be lost to
+flush/fence reordering.  These tests record which lines each cleanup
+pass wrote and assert exactly that over the enumerated image set, for
+every registered workload.
+"""
+
+import pytest
+
+from repro.sim.address import element_addrs_of_line
+from repro.sim.cleaner import PeriodicCleaner
+from repro.sim.config import tiny_machine
+from repro.sim.crash import CrashPlan, run_to_crash_space
+from repro.sim.machine import Machine
+from repro.verify import EnumerationPlan, enumerate_images
+from repro.workloads import get_workload
+
+SMALL_PARAMS = {
+    "tmm": {"n": 8, "bsize": 4, "kk_tiles": 1},
+    "fft": {"n": 16},
+    "gauss": {"n": 8, "row_block": 4},
+    "cholesky": {"n": 8, "col_block": 4},
+    "conv2d": {"n": 8, "row_block": 2},
+}
+
+
+class RecordingCleaner(PeriodicCleaner):
+    """PeriodicCleaner that remembers what it wrote back, and with
+    which values — independent ground truth for the tracker's floor."""
+
+    def __init__(self, period_cycles):
+        super().__init__(period_cycles)
+        self.cleaned_lines = set()
+        self.cleaned_values = {}
+
+    def maybe_clean(self, hierarchy, now):
+        due = now >= self._next_due
+        dirty = set(hierarchy.dirty_line_addrs()) if due else set()
+        written = super().maybe_clean(hierarchy, now)
+        if written:
+            self.cleaned_lines |= dirty
+            for line in dirty:
+                for addr in element_addrs_of_line(line):
+                    if addr in hierarchy.mem.arch:
+                        self.cleaned_values[addr] = hierarchy.mem.arch[addr]
+        return written
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
+def test_cleaned_lines_survive_in_every_image(name):
+    workload = get_workload(name)(**SMALL_PARAMS[name])
+    machine = Machine(tiny_machine())
+    cleaner = RecordingCleaner(400.0)
+    machine.cleaner = cleaner
+    bound = workload.bind(machine, num_threads=2, engine="modular")
+
+    # Profile the run length, then crash near the end with the same
+    # setup, so every workload has gone through dirty-line cleanups.
+    total = machine.run(bound.threads("lp")).ops_executed
+    machine = Machine(tiny_machine())
+    cleaner = RecordingCleaner(400.0)
+    machine.cleaner = cleaner
+    bound = workload.bind(machine, num_threads=2, engine="modular")
+    result, space = run_to_crash_space(
+        machine, bound.threads("lp"), CrashPlan(at_op=total - 2)
+    )
+
+    assert result.crashed
+    assert cleaner.cleanups >= 1, "period too long for this workload"
+    assert cleaner.cleaned_lines, "no dirty lines at any cleanup pass"
+
+    # Cleaned addresses the program never touched again: their cleaned
+    # value is unconditionally durable.  The tracker's floor must agree
+    # with the cleaner's own record — a pending-flush undo must never
+    # roll a cleaned line back below its cleaned value.
+    event_addrs = set()
+    for ev in space.events:
+        event_addrs |= set(ev.values)
+    stable = {
+        addr: value
+        for addr, value in cleaner.cleaned_values.items()
+        if machine.mem.arch.get(addr) == value and addr not in event_addrs
+    }
+    assert stable, "every cleaned address was overwritten; shrink the period"
+    for addr, value in stable.items():
+        assert space.floor.get(addr) == value
+
+    images = enumerate_images(
+        space, EnumerationPlan(max_exhaustive_events=10, samples=16, seed=0)
+    )
+    assert images
+    cleaned_addrs = {
+        addr
+        for line in cleaner.cleaned_lines
+        for addr in element_addrs_of_line(line)
+        if addr in machine.mem.arch
+    }
+    for candidate in images:
+        missing = cleaned_addrs - set(candidate.image)
+        assert not missing, (
+            f"{name}: cleaned addresses absent from image "
+            f"{sorted(candidate.eids)}: {sorted(missing)[:4]}"
+        )
+        for addr, value in stable.items():
+            assert candidate.image[addr] == value
+
+
+def test_cleaner_shrinks_uncertain_event_set():
+    """More frequent cleaning -> fewer reorderable events at a crash."""
+    workload = get_workload("tmm")(**SMALL_PARAMS["tmm"])
+
+    def events_at_crash(period):
+        machine = Machine(tiny_machine())
+        if period is not None:
+            machine.cleaner = PeriodicCleaner(period)
+        bound = workload.bind(machine, num_threads=2, engine="modular")
+        _, space = run_to_crash_space(
+            machine, bound.threads("lp"), CrashPlan(at_op=400)
+        )
+        assert space is not None
+        return space.num_events
+
+    uncleaned = events_at_crash(None)
+    cleaned = events_at_crash(200.0)
+    assert cleaned <= uncleaned

@@ -1,0 +1,167 @@
+"""Property-based tests for order-ideal enumeration.
+
+The enumerator's correctness claim is combinatorial: the reachable
+post-crash images are exactly the order ideals (downward-closed
+subsets) of the persist-order DAG, and the number of order ideals of a
+poset equals its number of antichains.  These tests cross-check both
+against independent brute-force implementations on random DAGs.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.verify.graph import (
+    count_ideals,
+    is_ideal,
+    iter_ideals,
+    sample_ideals,
+    topo_order,
+)
+
+
+@st.composite
+def dags(draw, max_nodes=7):
+    """Random DAGs: nodes 0..n-1, edges only low -> high (acyclic)."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    nodes = list(range(n))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if pairs:
+        edges = draw(st.lists(st.sampled_from(pairs), unique=True))
+    else:
+        edges = []
+    return nodes, edges
+
+
+def transitive_preds(nodes, edges):
+    """Independent closure: node -> every node reachable backwards."""
+    preds = {n: set() for n in nodes}
+    for before, after in edges:
+        preds[after].add(before)
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            extra = set()
+            for p in preds[n]:
+                extra |= preds[p]
+            if not extra <= preds[n]:
+                preds[n] |= extra
+                changed = True
+    return preds
+
+
+def brute_force_ideals(nodes, edges):
+    """All downward-closed subsets, via powerset + transitive closure."""
+    preds = transitive_preds(nodes, edges)
+    out = set()
+    for r in range(len(nodes) + 1):
+        for combo in itertools.combinations(nodes, r):
+            chosen = set(combo)
+            if all(preds[n] <= chosen for n in chosen):
+                out.add(frozenset(chosen))
+    return out
+
+
+def brute_force_antichains(nodes, edges):
+    """All subsets with no two comparable elements."""
+    preds = transitive_preds(nodes, edges)
+    count = 0
+    for r in range(len(nodes) + 1):
+        for combo in itertools.combinations(nodes, r):
+            chosen = set(combo)
+            if all(not (preds[a] & chosen) for a in chosen):
+                count += 1
+    return count
+
+
+class TestTopoOrder:
+    def test_respects_edges_and_is_deterministic(self):
+        nodes = [3, 1, 2, 0]
+        edges = [(3, 1), (2, 0)]
+        order = topo_order(nodes, edges)
+        assert order.index(3) < order.index(1)
+        assert order.index(2) < order.index(0)
+        assert order == topo_order(nodes, edges)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ConfigError):
+            topo_order([0, 1], [(0, 1), (1, 0)])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(ConfigError):
+            topo_order([0, 1], [(0, 9)])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ConfigError):
+            topo_order([0, 0, 1], [])
+
+
+class TestIterIdeals:
+    def test_chain_counts(self):
+        # A chain of n events has n+1 ideals (its prefixes).
+        nodes = [0, 1, 2, 3]
+        edges = [(0, 1), (1, 2), (2, 3)]
+        ideals = list(iter_ideals(nodes, edges))
+        assert len(ideals) == 5
+        assert count_ideals(nodes, edges) == 5
+        assert all(i == frozenset(range(len(i))) for i in ideals)
+
+    def test_independent_events_give_powerset(self):
+        nodes = [0, 1, 2]
+        ideals = set(iter_ideals(nodes, []))
+        assert len(ideals) == 8
+
+    def test_empty_first_full_last(self):
+        nodes = [0, 1, 2]
+        edges = [(0, 2)]
+        ideals = list(iter_ideals(nodes, edges))
+        assert ideals[0] == frozenset()
+        assert ideals[-1] == frozenset(nodes)
+
+    @given(dags())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_bruteforce(self, dag):
+        nodes, edges = dag
+        got = list(iter_ideals(nodes, edges))
+        expected = brute_force_ideals(nodes, edges)
+        assert len(got) == len(set(got)), "duplicate ideals yielded"
+        assert set(got) == expected
+        assert count_ideals(nodes, edges) == len(expected)
+        assert all(is_ideal(i, nodes, edges) for i in got)
+
+    @given(dags())
+    @settings(max_examples=120, deadline=None)
+    def test_ideal_count_equals_antichain_count(self, dag):
+        # Classic poset bijection (ideal <-> its maximal elements); the
+        # docstring claim the whole approach leans on.
+        nodes, edges = dag
+        assert count_ideals(nodes, edges) == brute_force_antichains(
+            nodes, edges
+        )
+
+
+class TestSampleIdeals:
+    @given(dags(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_deterministic_per_seed_and_all_ideals(self, dag, seed):
+        nodes, edges = dag
+        first = sample_ideals(nodes, edges, seed, count=16)
+        second = sample_ideals(nodes, edges, seed, count=16)
+        assert first == second, "same seed must replay the same samples"
+        assert len(first) == len(set(first)), "samples must be deduplicated"
+        assert all(is_ideal(s, nodes, edges) for s in first)
+        assert len(first) <= 16
+
+    def test_samples_respect_edges(self):
+        nodes = list(range(10))
+        edges = [(i, i + 1) for i in range(9)]
+        for sample in sample_ideals(nodes, edges, seed=3, count=32):
+            # Ideals of a chain are prefixes.
+            assert sample == frozenset(range(len(sample)))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_ideals([0], [], seed=0, count=-1)
