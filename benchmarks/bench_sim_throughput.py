@@ -1,0 +1,165 @@
+"""Simulator throughput: the timing-model pipeline's speed claims.
+
+Two numbers justify the semantics/timing split:
+
+* **Forward throughput** — simulated ops/second of the same workload
+  under ``DetailedTiming`` (paper-faithful latencies),
+  ``FastFunctional`` (+1-cycle costs, no structural hazards) on the
+  full cache hierarchy, and on a cache-free **replay machine** (the
+  semantics-only configuration crash checking uses).  Swapping the
+  core timing model alone roughly breaks even — the hierarchy
+  simulation dominates, and round-robin interleaving can even worsen
+  simulated locality — which is exactly why the fast path drops the
+  hierarchy too.
+* **Crashcheck campaign wall-clock** — the end-to-end cost of a
+  crash-state checking campaign.  The pre-pipeline checker verified
+  every enumerated image with a full-machine recovery run (caches,
+  coherence, persist tracking); the pipeline default verifies on
+  cache-free replay machines under functional timing, which answers
+  the same architectural question exactly.  The campaign must drop
+  >= 3x wall-clock (the PR's acceptance bar); smoke sizes assert a
+  relaxed floor because tiny campaigns amortize less fixed cost.
+
+Timings here are real wall-clock, so the on-disk result cache is
+deliberately bypassed: both campaign legs run ``check_variant``
+directly.
+"""
+
+import time
+
+from repro.analysis.crashlab import crash_plans_for
+from repro.analysis.reporting import format_table
+from repro.sim.config import tiny_machine
+from repro.sim.machine import Machine
+from repro.verify import EnumerationPlan, check_variant
+from repro.workloads.tmm import TiledMatMul
+
+from bench_common import (
+    NUM_THREADS,
+    SMOKE,
+    machine_config,
+    make_workload,
+    record,
+)
+
+#: Forward modes: two timing models on the full machine, plus the
+#: cache-free replay machine (always functional timing).
+FORWARD_MODES = ("detailed", "functional", "replay")
+FORWARD_WORKLOADS = ("tmm", "fft")
+
+#: Crashcheck campaign shape (kept modest: two full campaign legs run
+#: back-to-back, uncached).  Smoke halves everything again.
+CAMPAIGN = (
+    dict(workload=dict(n=8, bsize=4, kk_tiles=1), op_points=2,
+         max_flush_points=4, samples=16)
+    if SMOKE
+    else dict(workload=dict(n=12, bsize=4), op_points=6,
+              max_flush_points=10, samples=48)
+)
+SPEEDUP_FLOOR = 1.3 if SMOKE else 3.0
+
+
+def forward_throughput():
+    """Ops/second of one LP run per workload under each forward mode."""
+    out = {}
+    for name in FORWARD_WORKLOADS:
+        for mode in FORWARD_MODES:
+            workload = make_workload(name)
+            if mode == "replay":
+                machine = Machine(machine_config(), _replay=True)
+            else:
+                machine = Machine(machine_config().with_timing(mode))
+            bound = workload.bind(machine, num_threads=NUM_THREADS)
+            t0 = time.perf_counter()
+            result = machine.run(bound.threads("lp"))
+            elapsed = time.perf_counter() - t0
+            assert bound.verify()
+            out[(name, mode)] = (result.ops_executed, elapsed)
+    return out
+
+
+def campaign_times():
+    """One crashcheck campaign, timed with full-machine recovery
+    (the pre-pipeline behaviour) and with replay recovery (default)."""
+    workload = TiledMatMul(**CAMPAIGN["workload"])
+    config = tiny_machine()
+    plan = EnumerationPlan(
+        max_exhaustive_events=12, samples=CAMPAIGN["samples"], seed=0
+    )
+    plans = crash_plans_for(
+        workload, config, "ep",
+        op_points=CAMPAIGN["op_points"],
+        max_flush_points=CAMPAIGN["max_flush_points"],
+    )
+    out = {}
+    for replay in (False, True):
+        t0 = time.perf_counter()
+        report = check_variant(
+            workload, config, "ep", plans, plan, replay=replay
+        )
+        elapsed = time.perf_counter() - t0
+        assert report.ok
+        out[replay] = (report.images_checked, elapsed)
+    return out
+
+
+def run_bench():
+    return forward_throughput(), campaign_times()
+
+
+def test_sim_throughput(benchmark):
+    forward, campaign = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    rows = []
+    data = {"forward": {}, "campaign": {}}
+    for name in FORWARD_WORKLOADS:
+        rates = {}
+        for mode in FORWARD_MODES:
+            ops, elapsed = forward[(name, mode)]
+            rates[mode] = ops / elapsed
+            data["forward"][f"{name}/{mode}"] = {
+                "ops": ops, "seconds": round(elapsed, 3),
+                "ops_per_sec": round(rates[mode]),
+            }
+        rows.append(
+            [
+                name,
+                f"{rates['detailed'] / 1e3:.0f}k",
+                f"{rates['functional'] / 1e3:.0f}k",
+                f"{rates['replay'] / 1e3:.0f}k",
+                f"{rates['replay'] / rates['detailed']:.2f}x",
+            ]
+        )
+    forward_table = format_table(
+        ["workload", "detailed ops/s", "functional ops/s",
+         "replay ops/s", "replay speedup"],
+        rows,
+        title="Forward simulation throughput (lp, wall-clock)",
+    )
+
+    (images_full, t_full) = campaign[False]
+    (images_fast, t_fast) = campaign[True]
+    assert images_full == images_fast, "recovery mode must not change the space"
+    speedup = t_full / t_fast
+    campaign_table = format_table(
+        ["recovery", "images", "seconds", "speedup"],
+        [
+            ["full machine (pre-pipeline)", images_full, f"{t_full:.2f}", ""],
+            ["replay (default)", images_fast, f"{t_fast:.2f}",
+             f"{speedup:.2f}x"],
+        ],
+        title="Crashcheck campaign wall-clock (tmm/ep, uncached)",
+    )
+    data["campaign"] = {
+        "images": images_full,
+        "full_recovery_seconds": round(t_full, 2),
+        "replay_seconds": round(t_fast, 2),
+        "speedup": round(speedup, 2),
+        "floor": SPEEDUP_FLOOR,
+    }
+
+    record("sim_throughput", forward_table + "\n\n" + campaign_table, data)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"crashcheck replay speedup {speedup:.2f}x below the "
+        f"{SPEEDUP_FLOOR}x floor"
+    )

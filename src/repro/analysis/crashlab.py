@@ -163,6 +163,8 @@ def run_crashcheck_campaign(
     cleaner_period: Optional[float] = None,
     n_jobs: int = 1,
     cache=None,
+    timing: Optional[str] = None,
+    replay: bool = True,
 ):
     """Crash-state checking across variants, through the PR-1 engine.
 
@@ -171,10 +173,21 @@ def run_crashcheck_campaign(
     fans them through :func:`~repro.analysis.runner.run_jobs`, so
     campaigns parallelise and memoize exactly like experiment sweeps.
     Returns ``{variant: CrashCheckReport}`` in input order.
+
+    ``timing`` overrides the config's timing model for the whole
+    campaign (profiling runs, crash-point runs and cache keys stay
+    consistent); the detailed default keeps crash-state spaces
+    identical to pre-pipeline campaigns, while ``"functional"``
+    explores the wider round-robin interleaving.  ``replay`` selects
+    per-image recovery on replay machines — exact for the recovery
+    verdict and the campaign's hot path; ``False`` restores
+    full-machine recovery runs (benchmarking / belt-and-suspenders).
     """
     from repro.analysis.runner import CrashCheckJob, run_jobs
     from repro.verify import CrashCheckReport, plan_to_dict
 
+    if timing is not None:
+        config = config.with_timing(timing)
     jobs = []
     for variant in variants:
         plans = crash_plans_for(
@@ -198,6 +211,7 @@ def run_crashcheck_campaign(
                 num_threads=num_threads,
                 engine=engine,
                 cleaner_period=cleaner_period,
+                replay=replay,
             )
         )
     reports = run_jobs(

@@ -39,6 +39,10 @@ class ExperimentResult:
     #: Writes from draining still-resident dirty lines at window end
     #: (0 unless ``run_variant(..., drain=True)``).
     drain_writes: int = 0
+    #: Stall cycles by cause, as attributed by the timing pipeline's
+    #: :class:`~repro.sim.events.LatencyLedger` (empty under the
+    #: functional model, which never stalls).
+    stalls: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_writes(self) -> int:
@@ -146,6 +150,7 @@ def run_variant(
         verified=verified,
         ops_executed=result.ops_executed,
         cleaner_writes=result.stats.writes_by_cause.get("cleaner", 0),
+        stalls=result.stats.stall_summary(),
     )
 
 

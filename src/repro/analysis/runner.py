@@ -199,9 +199,18 @@ class CrashCheckJob:
     num_threads: int = 2
     engine: str = "modular"
     cleaner_period: Optional[float] = None
+    #: Per-image recovery on replay machines (exact and much faster;
+    #: False restores full-machine recovery runs for benchmarking).
+    replay: bool = True
 
     def cache_key(self) -> str:
-        """Content-addressed identity of this campaign's report."""
+        """Content-addressed identity of this campaign's report.
+
+        The timing model is part of ``config.cache_key()``, so routing
+        a campaign through ``FastFunctional`` never reuses detailed
+        results (the reachable spaces differ under multicore
+        interleaving).
+        """
         payload = json.dumps(
             {
                 "kind": "crashcheck",
@@ -215,6 +224,7 @@ class CrashCheckJob:
                 "num_threads": self.num_threads,
                 "engine": self.engine,
                 "cleaner_period": self.cleaner_period,
+                "replay": self.replay,
                 "code": code_version(),
                 "format": CACHE_FORMAT_VERSION,
             },
@@ -252,6 +262,7 @@ class CrashCheckJob:
             num_threads=self.num_threads,
             engine=self.engine,
             cleaner_period=self.cleaner_period,
+            replay=self.replay,
         )
 
 

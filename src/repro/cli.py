@@ -32,6 +32,7 @@ from repro.sim.config import (
     scaled_machine,
     tiny_machine,
 )
+from repro.sim.timing import TIMING_MODELS
 from repro.workloads import available_workloads, get_workload
 
 _PRESETS = {
@@ -74,6 +75,9 @@ def _parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
 
 def _machine(args) -> MachineConfig:
     cfg = _PRESETS[args.machine](num_cores=max(args.threads + 1, 2))
+    timing = getattr(args, "timing", None)
+    if timing is not None and timing != cfg.timing:
+        cfg = cfg.with_timing(timing)
     return cfg
 
 
@@ -211,7 +215,7 @@ def _cmd_crashcheck(args) -> int:
         **_parse_params(args.param),
     }
     workload = cls(**params)
-    config = _PRESETS[args.machine](num_cores=max(args.threads + 1, 2))
+    config = _machine(args)
     if args.variants:
         variants = args.variants.split(",")
     else:
@@ -252,6 +256,7 @@ def _cmd_crashcheck(args) -> int:
         cleaner_period=args.cleaner_period,
         n_jobs=args.jobs,
         cache=cache,
+        replay=not args.full_recovery,
     )
 
     rows = []
@@ -433,9 +438,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--threads", type=int, default=2)
         p.add_argument("--machine", choices=sorted(_PRESETS), default="scaled")
         p.add_argument("--engine", default="modular")
+        timing_flag(p)
         p.add_argument(
             "-p", "--param", action="append", metavar="KEY=VALUE",
             help="workload parameter (repeatable), e.g. -p n=48",
+        )
+
+    def timing_flag(p):
+        p.add_argument(
+            "--timing", choices=sorted(TIMING_MODELS), default="detailed",
+            help="timing model (default: detailed — paper-faithful "
+            "latencies; functional is the fast +1-cycle model for "
+            "semantics-only runs)",
         )
 
     def engine_flags(p):
@@ -484,6 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
         "reachable-image space enumerable)",
     )
     p_cc.add_argument("--engine", default="modular")
+    timing_flag(p_cc)
+    p_cc.add_argument(
+        "--full-recovery", action="store_true",
+        help="verify each image with a full-machine recovery run "
+        "instead of the fast replay machine (slow; for benchmarking "
+        "and belt-and-suspenders checks)",
+    )
     p_cc.add_argument(
         "-p", "--param", action="append", metavar="KEY=VALUE",
         help="workload parameter (repeatable); defaults to a small "

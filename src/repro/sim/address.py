@@ -11,7 +11,7 @@ false sharing out of the reproduction unless a workload asks for it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Dict, Iterator
 
 from repro.errors import AddressError
 from repro.sim.config import ELEMENT_BYTES, LINE_BYTES
@@ -74,7 +74,7 @@ class Allocator:
         # a zero address showing up in the hierarchy is then always a bug.
         self._next = base
         self._limit = memory_bytes
-        self._regions: dict = {}
+        self._regions: Dict[str, Region] = {}
 
     def alloc(self, name: str, num_elements: int) -> Region:
         """Allocate ``num_elements`` under ``name``; line-aligned."""
@@ -104,7 +104,7 @@ class Allocator:
             raise AddressError(f"no region named {name!r}") from None
 
     @property
-    def regions(self) -> dict:
+    def regions(self) -> Dict[str, Region]:
         return dict(self._regions)
 
     @property

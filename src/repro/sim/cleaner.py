@@ -9,12 +9,20 @@ regions can be inconsistent.
 ``period_cycles`` is the paper's "time between flushes"; Figure 11
 expresses it as a fraction of total execution time, which the
 Fig 11 bench computes from a baseline run.
+
+The cleaner is timing-model-agnostic: it talks to the memory system
+through the :class:`~repro.sim.coherence.MemorySystem` surface and is
+driven by whatever clock the active timing model advances.  Under
+:class:`~repro.sim.timing.FastFunctional` every op costs one cycle, so
+a functional-mode period of ``N`` means "every N ops" — campaign code
+that sweeps periods should size them against the active timing model's
+clock, not assume detailed cycles.
 """
 
 from __future__ import annotations
 
 from repro.errors import ConfigError
-from repro.sim.coherence import Hierarchy
+from repro.sim.coherence import MemorySystem
 
 
 class PeriodicCleaner:
@@ -28,7 +36,7 @@ class PeriodicCleaner:
         self.cleanups = 0
         self.lines_written = 0
 
-    def maybe_clean(self, hierarchy: Hierarchy, now: float) -> int:
+    def maybe_clean(self, hierarchy: MemorySystem, now: float) -> int:
         """Run a cleanup pass if the period has elapsed.
 
         Returns the number of lines written in this call.  Multiple

@@ -20,13 +20,14 @@ issuing core's clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Protocol, Set, Tuple
 
 from repro.sim.address import line_of
 from repro.sim.cache import Cache, Line, State
 from repro.sim.config import MachineConfig
 from repro.sim.nvmm import MemoryController
 from repro.sim.stats import MachineStats
+from repro.sim.timing import HierarchyTiming
 from repro.sim.valuestore import MemoryState
 
 
@@ -39,6 +40,39 @@ class Access:
     extra_latency: float = 0.0
 
 
+class MemorySystem(Protocol):
+    """What the semantics layer requires of the memory system.
+
+    Cores and the machine talk to the memory system only through this
+    surface: value-bearing loads/stores, the flush path to the MC, and
+    the bulk-clean / dirty-set hooks the cleaner and crash machinery
+    use.  Two implementations exist — the full coherent
+    :class:`Hierarchy` and the cache-free :class:`ReplayHierarchy` used
+    for recovery replay.
+    """
+
+    mc: MemoryController
+
+    def load(self, core_id: int, addr: int, now: float) -> Access: ...
+
+    def store(
+        self, core_id: int, addr: int, value: float, now: float
+    ) -> Access: ...
+
+    def flush_line(
+        self,
+        line_addr: int,
+        now: float,
+        invalidate: bool,
+        cause: str = "flush",
+        core_id: Optional[int] = None,
+    ) -> Tuple[bool, float]: ...
+
+    def clean_all(self, now: float, cause: str = "cleaner") -> int: ...
+
+    def dirty_line_addrs(self) -> Set[int]: ...
+
+
 class Hierarchy:
     """All caches plus the persistence path to the MC."""
 
@@ -48,11 +82,25 @@ class Hierarchy:
         mem: MemoryState,
         stats: MachineStats,
         mc: MemoryController,
+        timing: Optional[HierarchyTiming] = None,
     ) -> None:
         self.config = config
         self.mem = mem
         self.stats = stats
         self.mc = mc
+        #: Component latencies (timing layer).  Coherence *state* below
+        #: never depends on these; they only size the latencies a core
+        #: feels.  Directly constructed hierarchies default to the
+        #: detailed (Table II) values from the config.
+        self.timing = (
+            timing
+            if timing is not None
+            else HierarchyTiming(
+                l2_hit_cycles=config.l2.hit_cycles,
+                coherence_cycles=config.coherence_cycles,
+                flush_transit_cycles=config.flush_transit_cycles,
+            )
+        )
         self.l1s: List[Cache] = [
             Cache(config.l1, name=f"L1[{i}]") for i in range(config.num_cores)
         ]
@@ -90,7 +138,7 @@ class Hierarchy:
         if l1.access(line_addr) is not None:
             return Access(l1_hit=True)
 
-        latency = self.config.l2.hit_cycles
+        latency = self.timing.l2_hit_cycles
         self.stats.l2_accesses += 1
 
         # Another core may hold the only up-to-date copy in M: downgrade
@@ -102,7 +150,7 @@ class Hierarchy:
             self._merge_dirty_into_l2(owner_line, now)
             owner_line.state = State.SHARED
             owner_line.dirty_since = None
-            latency += self.config.coherence_cycles
+            latency += self.timing.coherence_cycles
         else:
             # A remote EXCLUSIVE copy must drop to SHARED so its core
             # cannot later write it without an upgrade.
@@ -152,10 +200,10 @@ class Hierarchy:
                 self.l1s[cid].remove(line_addr)
             line.state = State.MODIFIED
             line.dirty_since = now
-            return Access(l1_hit=True, extra_latency=self.config.coherence_cycles)
+            return Access(l1_hit=True, extra_latency=self.timing.coherence_cycles)
 
         # Write miss: read-for-ownership.
-        latency = self.config.l2.hit_cycles
+        latency = self.timing.l2_hit_cycles
         self.stats.l2_accesses += 1
         inherited_dirty_since: Optional[float] = None
 
@@ -164,7 +212,7 @@ class Hierarchy:
             owner_line = self.l1s[owner].remove(line_addr)
             # Ownership (and the un-persisted data obligation) transfers.
             inherited_dirty_since = owner_line.dirty_since
-            latency += self.config.coherence_cycles
+            latency += self.timing.coherence_cycles
         for cid in self._sharers(line_addr, exclude=core_id):
             self.l1s[cid].remove(line_addr)
 
@@ -237,7 +285,7 @@ class Hierarchy:
 
         if not dirty:
             return False, now
-        arrival = now + self.config.flush_transit_cycles
+        arrival = now + self.timing.flush_transit_cycles
         accept = self.mc.accept_write(
             line_addr, arrival, cause, dirty_since, core_id
         )
@@ -339,7 +387,7 @@ class Hierarchy:
     # introspection for tests and the crash machinery
     # ------------------------------------------------------------------
 
-    def dirty_line_addrs(self) -> set:
+    def dirty_line_addrs(self) -> Set[int]:
         """All line addresses whose data has not reached the MC."""
         dirty = {ln.addr for ln in self.l2.dirty_lines()}
         for l1 in self.l1s:
@@ -362,7 +410,7 @@ class Hierarchy:
         """Assert at most one M copy per line across L1s (test hook)."""
         from repro.errors import SimulationError
 
-        owners: dict = {}
+        owners: Dict[int, int] = {}
         for cid, l1 in enumerate(self.l1s):
             for line in l1.lines():
                 if line.state is State.MODIFIED:
@@ -372,3 +420,64 @@ class Hierarchy:
                             f"{owners[line.addr]} and {cid}"
                         )
                     owners[line.addr] = cid
+
+
+# ----------------------------------------------------------------------
+# cache-free replay (recovery verification fast path)
+# ----------------------------------------------------------------------
+
+#: Shared load/store outcome for replay accesses.  Treated as read-only
+#: by every consumer (core timing views only inspect it).
+_REPLAY_HIT = Access(l1_hit=True, extra_latency=0.0)
+
+
+class ReplayHierarchy:
+    """Architectural-semantics-only memory system (no caches).
+
+    Caches are architecturally transparent: a load's value comes from
+    :class:`~repro.sim.valuestore.MemoryState` and a store updates it,
+    regardless of what any cache holds.  When the *only* question is
+    "does this code compute the right values" — which is exactly what
+    the crash-state checker asks of each per-image recovery run — the
+    coherence walk is pure timing/persistence bookkeeping, so this
+    implementation of :class:`MemorySystem` skips it: every access is
+    an L1 hit, a flush persists the line's architectural data at once,
+    and there is never any dirty state to clean.
+
+    Replay machines must never feed crash-state enumeration (their
+    dirty set and persist order are intentionally vacuous);
+    :meth:`repro.sim.machine.Machine.crash_state_space` guards this.
+    """
+
+    def __init__(self, mem: MemoryState, mc: MemoryController) -> None:
+        self.mem = mem
+        self.mc = mc
+
+    def load(self, core_id: int, addr: int, now: float) -> Access:
+        return _REPLAY_HIT
+
+    def store(
+        self, core_id: int, addr: int, value: float, now: float
+    ) -> Access:
+        self.mem.store(addr, value)
+        return _REPLAY_HIT
+
+    def flush_line(
+        self,
+        line_addr: int,
+        now: float,
+        invalidate: bool,
+        cause: str = "flush",
+        core_id: Optional[int] = None,
+    ) -> Tuple[bool, float]:
+        # Persist the line's architectural data directly; with no cache
+        # state there is no dirty window and nothing for the MC queue
+        # to backpressure.
+        self.mem.persist_line(line_addr)
+        return False, now
+
+    def clean_all(self, now: float, cause: str = "cleaner") -> int:
+        return 0
+
+    def dirty_line_addrs(self) -> Set[int]:
+        return set()

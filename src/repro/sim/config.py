@@ -142,12 +142,23 @@ class MachineConfig:
     #: coherence under many interleavings; timing runs keep it at 0.
     schedule_jitter: float = 0.0
     schedule_seed: int = 0
+    #: Timing model (see :mod:`repro.sim.timing`): ``"detailed"`` is
+    #: the Table II machine every performance figure uses;
+    #: ``"functional"`` is the zero-latency round-robin model crash
+    #: -state campaigns run on.  Part of :meth:`cache_key`, so results
+    #: from different models never alias in the experiment cache.
+    timing: str = "detailed"
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
             raise ConfigError("need at least one core")
         if self.l1.line_bytes != self.l2.line_bytes:
             raise ConfigError("L1 and L2 must share a line size")
+        if self.timing not in ("detailed", "functional"):
+            raise ConfigError(
+                f"unknown timing model {self.timing!r}; "
+                "expected 'detailed' or 'functional'"
+            )
 
     def with_l2_size(self, size_bytes: int) -> "MachineConfig":
         """Return a copy with a different L2 capacity (Fig 15a sweep)."""
@@ -179,6 +190,10 @@ class MachineConfig:
     def with_cores(self, num_cores: int) -> "MachineConfig":
         """Return a copy with a different core count (Fig 14b sweep)."""
         return replace(self, num_cores=num_cores)
+
+    def with_timing(self, timing: str) -> "MachineConfig":
+        """Return a copy running under a different timing model."""
+        return replace(self, timing=timing)
 
     def cache_key(self) -> str:
         """Canonical serialization of every timing-relevant field.

@@ -1,9 +1,10 @@
-"""Core execution engine: op costs, bounded structures, hazard events.
+"""Core execution engine: the semantics layer of the op pipeline.
 
-The paper's cores are 4-wide out-of-order; we model an in-order engine
-with throughput-style costs for common ops plus three bounded
-asynchronous structures whose backpressure recreates the structural
-hazards of Table VI:
+The paper's cores are 4-wide out-of-order; the *detailed* timing model
+(:mod:`repro.sim.timing`) models an in-order engine with
+throughput-style costs for common ops plus three bounded asynchronous
+structures whose backpressure recreates the structural hazards of
+Table VI:
 
 * **store buffer** — stores retire immediately and drain in the
   background; a store that finds it full counts an FUW event (the
@@ -18,16 +19,35 @@ FUI (integer FU / issue pressure) is counted when a compute op issues
 while the async structures hold many in-flight ops, and FUR (load
 issue pressure) when a load miss issues under the same condition —
 both are documented proxies, see DESIGN.md section 4.
+
+This module itself is timing-agnostic: each op handler performs the
+*semantics* (value updates, coherence transitions, persist-order
+hooks) and narrates what happened to a pluggable
+:class:`~repro.sim.timing.CoreTiming` view as a stream of
+:mod:`~repro.sim.events`; the view owns the clock, the bounded
+structures, and every stall.  Dispatch is a type-keyed handler table
+shared by all timing models (no isinstance chain).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Callable, Dict, Optional, Type
 
 from repro.errors import SimulationError
 from repro.sim.address import line_of
-from repro.sim.coherence import Hierarchy
+from repro.sim.coherence import MemorySystem
 from repro.sim.config import CoreConfig
+from repro.sim.events import (
+    FENCE_ISSUE,
+    FLUSH_RESERVE,
+    LOAD_HIT,
+    STORE_HIT,
+    STORE_RESERVE,
+    ComputeIssue,
+    FlushCommit,
+    LoadCommit,
+    StoreCommit,
+)
 from repro.sim.isa import (
     Compute,
     Fence,
@@ -38,7 +58,10 @@ from repro.sim.isa import (
     RegionMark,
     Store,
 )
+from repro.sim.ledger import LatencyLedger
+from repro.sim.queues import BoundedQueue
 from repro.sim.stats import CoreStats
+from repro.sim.timing import CoreTiming, DetailedCoreTiming
 from repro.sim.valuestore import MemoryState
 
 
@@ -49,173 +72,141 @@ class Core:
         self,
         core_id: int,
         config: CoreConfig,
-        hierarchy: Hierarchy,
+        hierarchy: MemorySystem,
         mem: MemoryState,
         stats: CoreStats,
+        timer: Optional[CoreTiming] = None,
     ) -> None:
-        from repro.sim.queues import BoundedQueue
-
         self.core_id = core_id
         self.config = config
         self.hierarchy = hierarchy
         self.mem = mem
         self.stats = stats
-        self.clock = 0.0
-        self.store_buffer = BoundedQueue(
-            config.store_buffer_entries, "store_buffer"
+        #: The timing view (clock + structures + stalls).  Directly
+        #: constructed cores (tests, examples) default to the detailed
+        #: model with a private ledger.
+        self.timer = (
+            timer
+            if timer is not None
+            else DetailedCoreTiming(config, stats, LatencyLedger())
         )
-        self.flush_queue = BoundedQueue(
-            config.flush_queue_entries, "flush_queue"
-        )
-        self.mshrs = BoundedQueue(config.mshr_entries, "mshr")
-        self._last_drain_complete = 0.0
+
+    # -- timing-view delegation (back-compat surface) ----------------------
+
+    @property
+    def clock(self) -> float:
+        return self.timer.clock
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        self.timer.clock = value
+
+    @property
+    def store_buffer(self) -> BoundedQueue:
+        return self.timer.store_buffer
+
+    @property
+    def flush_queue(self) -> BoundedQueue:
+        return self.timer.flush_queue
+
+    @property
+    def mshrs(self) -> BoundedQueue:
+        return self.timer.mshrs
+
+    def outstanding_drain_time(self) -> float:
+        """When all of this core's in-flight persistence work completes."""
+        return self.timer.outstanding_drain_time()
 
     # ------------------------------------------------------------------
 
     def execute(self, op: Op) -> Optional[float]:
         """Run one op at the current clock; returns the load value if any."""
         self.stats.ops += 1
-        if isinstance(op, Load):
-            return self._load(op)
-        if isinstance(op, Store):
-            self._store(op)
-            return None
-        if isinstance(op, Compute):
-            self._compute(op)
-            return None
-        if isinstance(op, Flush):
-            self._flush(op.addr, invalidate=True)
-            return None
-        if isinstance(op, FlushWB):
-            self._flush(op.addr, invalidate=False)
-            return None
-        if isinstance(op, Fence):
-            self._fence()
-            return None
-        if isinstance(op, RegionMark):
-            return None
-        raise SimulationError(f"unknown op {op!r}")
+        handler = _OP_HANDLERS.get(type(op))
+        if handler is None:
+            raise SimulationError(f"unknown op {op!r}")
+        return handler(self, op)
 
-    # -- op handlers -------------------------------------------------------
+    # -- op handlers (semantics; timing flows through self.timer) ----------
 
-    def _load(self, op: Load) -> float:
+    def _exec_load(self, op: Load) -> float:
         self.stats.loads += 1
-        access = self.hierarchy.load(self.core_id, op.addr, self.clock)
+        access = self.hierarchy.load(self.core_id, op.addr, self.timer.clock)
         if access.l1_hit:
             self.stats.l1_hits += 1
-            self.clock += self.config.l1_hit_issue_cycles
-            return self.mem.load(op.addr)
-
-        self.stats.l1_misses += 1
-        if self.mshrs.occupancy(self.clock) > 0:
-            # the miss had to arbitrate with in-flight transactions
-            self.stats.fu_read_events += 1
-        if self._async_pressure() >= self.config.fu_pressure_threshold:
-            self.stats.fu_read_events += 1
-        if self.mshrs.full(self.clock):
-            self.stats.mshr_full_events += 1
-            self._stall_to(self.mshrs.earliest_free(self.clock))
-        # Blocking miss: the core waits for the data; the MSHR entry
-        # documents the occupancy window for cross-pressure with flushes.
-        self.clock += self.config.l1_hit_issue_cycles + access.extra_latency
-        self.mshrs.push(self.clock)
+            self.timer.on_event(LOAD_HIT)
+        else:
+            self.stats.l1_misses += 1
+            self.timer.on_event(LoadCommit(False, access.extra_latency))
         return self.mem.load(op.addr)
 
-    def _store(self, op: Store) -> None:
+    def _exec_store(self, op: Store) -> None:
         self.stats.stores += 1
-        if self.store_buffer.full(self.clock):
-            self.stats.fu_write_events += 1
-            self._stall_to(self.store_buffer.earliest_free(self.clock))
-
-        # State transitions happen now; the timing cost is charged to
-        # the background drain of the store buffer.
-        access = self.hierarchy.store(self.core_id, op.addr, op.value, self.clock)
+        # Reserve first: a full store buffer stalls the issue, so the
+        # state transitions below happen at the post-stall clock.
+        self.timer.on_event(STORE_RESERVE)
+        access = self.hierarchy.store(
+            self.core_id, op.addr, op.value, self.timer.clock
+        )
         if access.l1_hit:
             self.stats.l1_hits += 1
         else:
             self.stats.l1_misses += 1
-        drain_cost = self.config.store_drain_cycles + access.extra_latency
-        start = max(self.clock, self._last_drain_complete)
-        completion = start + drain_cost
-        self._last_drain_complete = completion
-        self.store_buffer.push(completion)
-        if not access.l1_hit:
-            # A store miss occupies an MSHR for its RFO window.
-            if self.mshrs.full(self.clock):
-                self.stats.mshr_full_events += 1
-                self._stall_to(self.mshrs.earliest_free(self.clock))
-            self.mshrs.push(completion)
-        self.clock += self.config.l1_hit_issue_cycles
+        if access.l1_hit and access.extra_latency == 0.0:
+            # The common case (hit in M/E, no upgrade traffic) always
+            # has this exact outcome; reuse the frozen instance.
+            self.timer.on_event(STORE_HIT)
+        else:
+            self.timer.on_event(
+                StoreCommit(access.l1_hit, access.extra_latency)
+            )
+        return None
 
-    def _compute(self, op: Compute) -> None:
+    def _exec_compute(self, op: Compute) -> None:
         self.stats.computes += 1
-        if self._async_pressure() >= self.config.fu_pressure_threshold:
-            self.stats.fu_int_events += 1
-        self.clock += op.flops * self.config.compute_cpi
+        self.timer.on_event(ComputeIssue(op.flops))
+        return None
+
+    def _exec_flush(self, op: Flush) -> None:
+        self._flush(op.addr, invalidate=True)
+        return None
+
+    def _exec_flushwb(self, op: FlushWB) -> None:
+        self._flush(op.addr, invalidate=False)
+        return None
 
     def _flush(self, addr: int, invalidate: bool) -> None:
         self.stats.flushes += 1
-        if self.flush_queue.full(self.clock):
-            self.stats.mshr_full_events += 1
-            self._stall_to(self.flush_queue.earliest_free(self.clock))
-        self.clock += self.config.flush_issue_cycles
+        self.timer.on_event(FLUSH_RESERVE)
         wrote, accept_time = self.hierarchy.flush_line(
-            line_of(addr), self.clock, invalidate=invalidate,
+            line_of(addr), self.timer.clock, invalidate=invalidate,
             core_id=self.core_id,
         )
-        completion = max(accept_time, self.clock)
-        self.flush_queue.push(completion)
-        # clflushopt occupies a store-queue slot on x86 until the data
-        # leaves for the persistence domain — this is what backs stores
-        # up behind flushes (FUW pressure under Eager Persistency).
-        if self.store_buffer.full(self.clock):
-            self.stats.fu_write_events += 1
-            self._stall_to(self.store_buffer.earliest_free(self.clock))
-        self.store_buffer.push(completion)
-        if wrote:
-            # Flush data occupies an MSHR/WB buffer until MC acceptance.
-            if self.mshrs.full(self.clock):
-                self.stats.mshr_full_events += 1
-                self._stall_to(self.mshrs.earliest_free(self.clock))
-            self.mshrs.push(completion)
+        self.timer.on_event(FlushCommit(wrote, accept_time))
 
-    def _fence(self) -> None:
+    def _exec_fence(self, op: Fence) -> None:
         self.stats.fences += 1
-        target = max(
-            self.store_buffer.drain_time(self.clock),
-            self.flush_queue.drain_time(self.clock),
-        )
-        if target > self.clock:
-            self.stats.fence_stall_cycles += target - self.clock
-            self._stall_to(target)
+        self.timer.on_event(FENCE_ISSUE)
         tracker = self.hierarchy.mc.tracker
         if tracker is not None:
             # The retired sfence orders every previously accepted flush
             # from this core into the persistence domain.
-            tracker.on_fence(self.core_id, self.clock)
+            tracker.on_fence(self.core_id, self.timer.clock)
+        return None
 
-    def _stall_to(self, target: float) -> None:
-        """Advance the clock through a structural stall, charging the
-        lost integer-issue slots to the FUI counter (a stalled front
-        end issues nothing, which is how eager flushing inflates the
-        paper's Table VI FU counters)."""
-        if target <= self.clock:
-            return
-        self.stats.fu_int_events += int(
-            (target - self.clock) * self.config.issue_width
-        )
-        self.clock = target
+    def _exec_mark(self, op: RegionMark) -> None:
+        return None
 
-    # -- helpers -----------------------------------------------------------
 
-    def _async_pressure(self) -> int:
-        return self.store_buffer.occupancy(self.clock) + self.flush_queue.occupancy(
-            self.clock
-        )
-
-    def outstanding_drain_time(self) -> float:
-        """When all of this core's in-flight persistence work completes."""
-        return max(
-            self.store_buffer.drain_time(self.clock),
-            self.flush_queue.drain_time(self.clock),
-        )
+#: Type-keyed op dispatch, shared by every timing model (Barriers are
+#: scheduler-level and handled by the machine, so they are absent here
+#: and raise like any unknown op).
+_OP_HANDLERS: Dict[Type[Op], Callable[[Core, Any], Optional[float]]] = {
+    Load: Core._exec_load,
+    Store: Core._exec_store,
+    Compute: Core._exec_compute,
+    Flush: Core._exec_flush,
+    FlushWB: Core._exec_flushwb,
+    Fence: Core._exec_fence,
+    RegionMark: Core._exec_mark,
+}

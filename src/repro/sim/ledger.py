@@ -1,0 +1,115 @@
+"""Latency accounting: one ledger, every stall attributed to a cause.
+
+Before the semantics/timing split, stall accounting was scattered as
+ad-hoc counter bumps through ``Core._load/_store/_flush/_stall_to`` and
+the hierarchy: an MSHR-full stall incremented one counter here, charged
+lost issue slots there, and nothing recorded *how many cycles* each
+cause actually cost.  The :class:`LatencyLedger` is the accounting
+layer of the three-layer pipeline (see docs/architecture.md): every
+structural-hazard event, every stall, and every MC queue delay flows
+through exactly one of its methods, which
+
+* attributes the stall cycles to a named cause
+  (``mshr_full``, ``flush_queue_full``, ``store_buffer_full``,
+  ``fence_drain``, ``mc_write_queue``), and
+* keeps the paper's legacy Table VI counters (``mshr_full_events``,
+  ``fu_int/read/write_events``, ``fence_stall_cycles``) bit-identical
+  to the pre-refactor simulator by bumping them from the same single
+  place.
+
+The ledger is deliberately import-free within ``repro.sim`` so the
+stats module can own one without a cycle; core-level counters are
+duck-typed through :class:`HazardCounters`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+#: Causes of structural-hazard *events* (an op found a structure full
+#: or arbitrated for a busy resource), mapped to the legacy Table VI
+#: counter each one bumps.  ``flush_queue_full`` lands on the MSHR
+#: counter because flushes occupy writeback buffers / MSHRs on real
+#: cores (see the core-module docstring).
+EVENT_CAUSES: Dict[str, str] = {
+    "mshr_full": "mshr_full_events",
+    "flush_queue_full": "mshr_full_events",
+    "store_buffer_full": "fu_write_events",
+    "load_arbitration": "fu_read_events",
+    "load_pressure": "fu_read_events",
+    "compute_pressure": "fu_int_events",
+}
+
+
+class HazardCounters(Protocol):
+    """The per-core legacy counters the ledger keeps bit-identical
+    (structurally matched by :class:`repro.sim.stats.CoreStats`)."""
+
+    fence_stall_cycles: float
+    mshr_full_events: int
+    fu_int_events: int
+    fu_read_events: int
+    fu_write_events: int
+
+
+class LatencyLedger:
+    """Machine-wide stall attribution shared by all timing views."""
+
+    def __init__(self) -> None:
+        #: Stall cycles per cause, summed across cores.
+        self.stall_cycles: Dict[str, float] = {}
+        #: Structural-hazard events per cause, summed across cores.
+        self.stall_events: Dict[str, int] = {}
+
+    # -- recording hooks ---------------------------------------------------
+
+    def event(self, stats: HazardCounters, cause: str) -> None:
+        """An op hit a structural hazard (no cycles charged yet)."""
+        self.stall_events[cause] = self.stall_events.get(cause, 0) + 1
+        legacy = EVENT_CAUSES[cause]
+        setattr(stats, legacy, getattr(stats, legacy) + 1)
+
+    def stall(
+        self,
+        stats: HazardCounters,
+        cause: str,
+        cycles: float,
+        issue_width: int,
+    ) -> None:
+        """A core front-end stalled ``cycles`` for ``cause``.
+
+        A stalled front end issues nothing, so the lost issue slots are
+        charged to the FUI counter exactly as the pre-refactor
+        ``Core._stall_to`` did; fence-drain stalls additionally feed the
+        legacy ``fence_stall_cycles`` total.
+        """
+        if cycles <= 0:
+            return
+        self.stall_cycles[cause] = self.stall_cycles.get(cause, 0.0) + cycles
+        stats.fu_int_events += int(cycles * issue_width)
+        if cause == "fence_drain":
+            stats.fence_stall_cycles += cycles
+
+    def queue_delay(self, cause: str, cycles: float) -> None:
+        """Backpressure delay inside a shared resource (MC queues).
+
+        Not a core stall — the issuing core may never feel it directly
+        — so no legacy counter moves; the cycles are attributed for the
+        stall breakdown only.
+        """
+        if cycles <= 0:
+            return
+        self.stall_cycles[cause] = self.stall_cycles.get(cause, 0.0) + cycles
+
+    # -- reporting ---------------------------------------------------------
+
+    def breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Cause-attributed totals: ``{"stall_cycles": .., "events": ..}``."""
+        return {
+            "stall_cycles": dict(self.stall_cycles),
+            "events": {k: float(v) for k, v in self.stall_events.items()},
+        }
+
+    @property
+    def total_stall_cycles(self) -> float:
+        return sum(self.stall_cycles.values())

@@ -18,20 +18,46 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.sim.address import Allocator, Region
-from repro.sim.coherence import Hierarchy
+from repro.sim.coherence import Hierarchy, MemorySystem, ReplayHierarchy
 from repro.sim.config import MachineConfig
-from repro.sim.core import Core
-from repro.sim.isa import Barrier, Flush, FlushWB, Op, RegionMark
+from repro.sim.core import _OP_HANDLERS, Core
+from repro.sim.isa import (
+    Barrier,
+    Compute,
+    Flush,
+    FlushWB,
+    Load,
+    Op,
+    RegionMark,
+    Store,
+)
 from repro.sim.nvmm import MemoryController
 from repro.sim.persist import CrashStateSpace, PersistOrderTracker
-from repro.sim.stats import MachineStats
+from repro.sim.stats import CoreStats, MachineStats
+from repro.sim.timing import CoreTiming, make_timing_model
 from repro.sim.valuestore import MemoryState
 
 ThreadGen = Generator[Op, Optional[float], None]
+
+#: One live core's scheduling slot in the replay fast loop:
+#: ``(core_id, generator.send, core, core.timer, core.stats)``.
+_ReplaySlot = Tuple[
+    int, Callable[[Optional[float]], Op], Core, CoreTiming, CoreStats
+]
 
 
 @dataclass
@@ -71,6 +97,7 @@ class Machine:
         *,
         _mem: Optional[MemoryState] = None,
         _allocator: Optional[Allocator] = None,
+        _replay: bool = False,
     ) -> None:
         self.config = config
         self.mem = _mem if _mem is not None else MemoryState()
@@ -79,21 +106,55 @@ class Machine:
             if _allocator is not None
             else Allocator(config.memory_bytes)
         )
+        #: Replay machines (see :meth:`after_crash_with_image`) execute
+        #: architectural semantics only: no caches, no persist-order
+        #: tracking, functional timing.  They exist to answer "does
+        #: this code compute the right values" as fast as possible.
+        self.replay = _replay
         self.stats = MachineStats().for_cores(config.num_cores)
+        #: The timing layer: one pluggable model (``config.timing``)
+        #: hands each component its timing view; every stall it charges
+        #: is attributed through the stats ledger (accounting layer).
+        self.timing = make_timing_model(
+            "functional" if _replay else config.timing,
+            config,
+            self.stats.ledger,
+        )
         #: Persist-order recorder for crash-state enumeration.  Only
         #: meaningful under ADR; the pre-ADR platform's durability is
         #: completion-timed and handled by the MC undo records.
         self.persist_tracker = (
             PersistOrderTracker(self.mem, adr=True)
-            if config.nvmm.adr
+            if config.nvmm.adr and not _replay
             else None
         )
         self.mc = MemoryController(
-            config.nvmm, self.mem, self.stats, self.persist_tracker
+            config.nvmm,
+            self.mem,
+            self.stats,
+            self.persist_tracker,
+            timing=self.timing.mc_view(),
         )
-        self.hierarchy = Hierarchy(config, self.mem, self.stats, self.mc)
+        self.hierarchy: MemorySystem = (
+            ReplayHierarchy(self.mem, self.mc)
+            if _replay
+            else Hierarchy(
+                config,
+                self.mem,
+                self.stats,
+                self.mc,
+                timing=self.timing.hierarchy_view(),
+            )
+        )
         self.cores = [
-            Core(i, config.core, self.hierarchy, self.mem, self.stats.per_core[i])
+            Core(
+                i,
+                config.core,
+                self.hierarchy,
+                self.mem,
+                self.stats.per_core[i],
+                timer=self.timing.core_view(i, self.stats.per_core[i]),
+            )
             for i in range(config.num_cores)
         ]
         #: Optional periodic cleaner; see :mod:`repro.sim.cleaner`.
@@ -158,6 +219,22 @@ class Machine:
             )
         if not gens:
             raise ConfigError("no threads to run")
+
+        if (
+            self.replay
+            and crash_at_op is None
+            and crash_at_cycle is None
+            and crash_at_mark is None
+            and crash_at_flush is None
+            and op_limit is None
+            and self.cleaner is None
+            and self.on_mark is None
+            and not self.config.schedule_jitter
+        ):
+            # Replay machines with no triggers take the tight loop;
+            # its interleaving exactly matches this general loop (see
+            # _run_replay), so the choice is pure mechanics.
+            return self._run_replay(gens)
 
         heap: List = []
         jitter = self.config.schedule_jitter
@@ -265,6 +342,143 @@ class Machine:
             flush_ops=flush_ops,
         )
 
+    def _run_replay(self, gens: List[ThreadGen]) -> RunResult:
+        """Round-robin fast loop for trigger-free replay runs.
+
+        This is the hot path of crash-state checking (one call per
+        enumerated image), so it strips the general loop down to the
+        scheduling the functional cost model actually produces.  It
+        exactly emulates the min-``(clock, core_id)`` heap for that
+        model: every op advances its core's clock by one cycle (region
+        marks are free), so cores take turns in core-id order, a core
+        keeps its turn while its clock does not advance, and a barrier
+        parks every live core and releases them in core-id order at
+        the common release time.  ``tests/verify`` pins the
+        equivalence against the general loop.
+        """
+        cores = self.cores
+        handlers = _OP_HANDLERS
+        arch = self.mem.arch
+        mem_load = self.mem.load
+        mem_store = self.mem.store
+        pending: List[Optional[float]] = [None] * len(gens)
+        ops_executed = 0
+        region_marks = 0
+        flush_ops = 0
+        finished = 0
+        barrier_wait: List[_ReplaySlot] = []
+        # One slot per live core; iterating the list in order and
+        # taking one costed op per slot per pass reproduces the
+        # cid-cyclic order the heap produces for the +1-cost model.
+        # The functional model charges exactly one cycle to every op
+        # except region marks (which are free), so "did the clock
+        # move" reduces to an op-type check — the replay-vs-general
+        # equivalence tests in tests/verify pin this invariant.
+        slots: List[_ReplaySlot] = [
+            (cid, gens[cid].send, core, core.timer, core.stats)
+            for cid, core in enumerate(cores[: len(gens)])
+        ]
+
+        while slots:
+            dead: Optional[Set[int]] = None
+            for slot in slots:
+                cid, send, core, timer, stats = slot
+                while True:
+                    try:
+                        op = send(pending[cid])
+                    except StopIteration:
+                        finished += 1
+                        dead = {cid} if dead is None else dead | {cid}
+                        break
+                    # Loads/stores/computes — the bulk of every kernel
+                    # — are inlined: on a replay hierarchy every access
+                    # is an architectural hit costing one cycle, so the
+                    # handler + event round trip reduces to a value-map
+                    # access and a tick.  The inlined bookkeeping is
+                    # op-for-op identical to _exec_load/_exec_store/
+                    # _exec_compute over a ReplayHierarchy (pinned by
+                    # the equivalence tests).  The checks are spelled
+                    # ``type(op) is X`` (not an aliased type) so the
+                    # union narrows for the attribute accesses below.
+                    if type(op) is Load:
+                        stats.ops += 1
+                        stats.loads += 1
+                        try:
+                            value = arch[op.addr]
+                        except KeyError:
+                            value = mem_load(op.addr)  # raises AddressError
+                        stats.l1_hits += 1
+                        timer.clock += 1.0
+                        pending[cid] = value
+                        ops_executed += 1
+                        break
+                    if type(op) is Store:
+                        stats.ops += 1
+                        stats.stores += 1
+                        mem_store(op.addr, op.value)
+                        stats.l1_hits += 1
+                        timer.clock += 1.0
+                        pending[cid] = None
+                        ops_executed += 1
+                        break
+                    if type(op) is Compute:
+                        stats.ops += 1
+                        stats.computes += 1
+                        timer.clock += 1.0
+                        pending[cid] = None
+                        ops_executed += 1
+                        break
+                    if type(op) is Barrier:
+                        pending[cid] = None
+                        ops_executed += 1
+                        stats.ops += 1
+                        barrier_wait.append(slot)
+                        dead = {cid} if dead is None else dead | {cid}
+                        break
+                    op_type = type(op)
+                    try:
+                        handler = handlers[op_type]
+                    except KeyError:
+                        raise SimulationError(f"unknown op {op!r}") from None
+                    stats.ops += 1
+                    pending[cid] = handler(core, op)
+                    ops_executed += 1
+                    if op_type is RegionMark:
+                        region_marks += 1
+                        continue  # free op: the core keeps its turn
+                    if op_type is Flush or op_type is FlushWB:
+                        flush_ops += 1
+                    break
+            if dead is not None:
+                slots = [s for s in slots if s[0] not in dead]
+            # All live cores are parked exactly when a pass ends with
+            # no live slots and a non-empty barrier set (parked +
+            # finished = all).
+            if (
+                not slots
+                and barrier_wait
+                and len(barrier_wait) == len(gens) - finished
+            ):
+                release = max(s[3].clock for s in barrier_wait)
+                barrier_wait.sort(key=lambda s: s[0])
+                for slot in barrier_wait:
+                    slot[3].clock = release
+                slots = barrier_wait
+                barrier_wait = []
+
+        for cid in range(len(gens)):
+            self.stats.per_core[cid].cycles = cores[cid].clock
+
+        return RunResult(
+            stats=self.stats,
+            crashed=False,
+            ops_executed=ops_executed,
+            region_marks=region_marks,
+            finished_threads=finished,
+            total_threads=len(gens),
+            flush_ops=flush_ops,
+        )
+
     # ------------------------------------------------------------------
     # persistence / crash
     # ------------------------------------------------------------------
@@ -291,6 +505,11 @@ class Machine:
         are exactly the reachable post-crash images (see
         :mod:`repro.sim.persist` and :mod:`repro.verify`).
         """
+        if self.replay:
+            raise ConfigError(
+                "replay machines execute architectural semantics only; "
+                "crash-state enumeration needs a full machine"
+            )
         if self.persist_tracker is None:
             raise ConfigError(
                 "crash-state enumeration requires an ADR machine "
@@ -301,7 +520,9 @@ class Machine:
             self.hierarchy.dirty_line_addrs(), crash_time
         )
 
-    def after_crash_with_image(self, image: Dict[int, float]) -> "Machine":
+    def after_crash_with_image(
+        self, image: Dict[int, float], *, replay: bool = False
+    ) -> "Machine":
         """A post-crash machine whose NVMM holds ``image``.
 
         ``image`` is one member of :meth:`crash_state_space`'s reachable
@@ -309,11 +530,21 @@ class Machine:
         caches and architectural state equal to the image, exactly like
         :meth:`after_crash` but for a chosen image instead of the one
         the simulated schedule happened to produce.
+
+        With ``replay=True`` the rebuilt machine is a **replay
+        machine**: cache-free architectural semantics under functional
+        timing.  Caches are architecturally transparent, so replaying
+        recovery code on it computes exactly the values a full machine
+        would — at a fraction of the cost — which is what the
+        crash-state checker's per-image recovery verification needs.
+        Replay machines cannot snapshot crash-state spaces.
         """
-        mem = MemoryState()
-        mem.persistent = dict(image)
-        mem.arch = dict(image)
-        return Machine(self.config, _mem=mem, _allocator=self.allocator)
+        return Machine(
+            self.config,
+            _mem=MemoryState.from_image(image),
+            _allocator=self.allocator,
+            _replay=replay,
+        )
 
     # -- value introspection ------------------------------------------------
 

@@ -13,6 +13,12 @@ persistent image (the common case is no crash), but every write leaves
 an undo record until its completion time; a crash rolls back the
 records still in flight, and fences observe the completion time rather
 than the acceptance time.
+
+The MC is the semantics layer's persistence point; the queue/pipe
+*arithmetic* (when a write is accepted, when the device finishes) is a
+pluggable :class:`~repro.sim.timing.MCTiming` view — the detailed view
+reproduces the Table II behaviour, the functional view accepts and
+completes instantly.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.sim.address import element_addrs_of_line
 from repro.sim.config import NVMMConfig
 from repro.sim.persist import PersistOrderTracker
 from repro.sim.stats import MachineStats
+from repro.sim.timing import DetailedMCTiming, MCTiming
 from repro.sim.valuestore import MemoryState
 
 
@@ -37,7 +44,7 @@ class _UndoRecord:
 
 
 class MemoryController:
-    """MC + NVMM device timing and persistence point."""
+    """MC + NVMM device persistence point (timing via an MCTiming view)."""
 
     def __init__(
         self,
@@ -45,20 +52,18 @@ class MemoryController:
         mem: MemoryState,
         stats: MachineStats,
         tracker: Optional[PersistOrderTracker] = None,
+        timing: Optional[MCTiming] = None,
     ) -> None:
         self.config = config
         self.mem = mem
         self.stats = stats
         #: Optional persist-order recorder (crash-state enumeration).
         self.tracker = tracker
-        #: Time the device write pipe frees up.
-        self._write_pipe_free = 0.0
-        #: Time the device read path frees up.
-        self._read_pipe_free = 0.0
-        #: Completion times of writes currently occupying queue slots.
-        self._write_queue: List[float] = []
-        #: Completion times of reads currently occupying queue slots.
-        self._read_queue: List[float] = []
+        #: Queue/pipe arithmetic; directly constructed MCs (tests)
+        #: default to the detailed Table II timing.
+        self.timing = (
+            timing if timing is not None else DetailedMCTiming(config)
+        )
         #: Non-ADR only: rollback records for in-flight writes.
         self._undo: List[_UndoRecord] = []
 
@@ -66,14 +71,7 @@ class MemoryController:
 
     def read(self, line_addr: int, now: float) -> float:
         """Issue a line read at ``now``; returns the data-return time."""
-        self._read_queue = [t for t in self._read_queue if t > now]
-        start = now
-        if len(self._read_queue) >= self.config.read_queue_depth:
-            start = min(self._read_queue)
-        start = max(start, self._read_pipe_free)
-        self._read_pipe_free = start + self.config.read_service_cycles
-        completion = start + self.config.read_cycles
-        self._read_queue.append(completion)
+        completion = self.timing.read(now)
         self.stats.nvmm_reads += 1
         return completion
 
@@ -108,13 +106,7 @@ class MemoryController:
         core_id: Optional[int] = None,
     ) -> Tuple[float, float]:
         """Accept a write; returns ``(accept_time, durable_time)``."""
-        accept_time = max(now, self._queue_slot_free_time(now))
-        # The write occupies the device pipe for its service time; its
-        # queue slot frees when the device finishes the full write.
-        start = max(accept_time, self._write_pipe_free)
-        self._write_pipe_free = start + self.config.write_service_cycles
-        completion = start + self.config.write_cycles
-        self._write_queue.append(completion)
+        accept_time, completion = self.timing.write(now)
 
         if not self.config.adr:
             # pre-ADR: the data is not safe until the device finishes;
@@ -135,13 +127,6 @@ class MemoryController:
         if dirty_since is not None:
             self.stats.record_volatility(durable_time - dirty_since)
         return accept_time, durable_time
-
-    def _queue_slot_free_time(self, now: float) -> float:
-        """Earliest time a write-queue slot is free."""
-        self._write_queue = [t for t in self._write_queue if t > now]
-        if len(self._write_queue) < self.config.write_queue_depth:
-            return now
-        return min(self._write_queue)
 
     # -- crash handling -------------------------------------------------------
 
@@ -172,4 +157,5 @@ class MemoryController:
 
     @property
     def write_queue_occupancy(self) -> int:
-        return len(self._write_queue)
+        occupancy = getattr(self.timing, "write_queue_occupancy", 0)
+        return int(occupancy)

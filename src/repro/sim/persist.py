@@ -41,7 +41,7 @@ to run (``ConfigError``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.address import element_addrs_of_line
@@ -98,7 +98,7 @@ class CrashStateSpace:
                 return ev
         raise KeyError(f"no persist event with id {eid}")
 
-    def image_for(self, chosen_eids) -> Dict[int, float]:
+    def image_for(self, chosen_eids: Iterable[int]) -> Dict[int, float]:
         """Materialize the NVMM image for a downward-closed event set.
 
         Events apply in id order; same-line chains have increasing ids,
@@ -116,6 +116,43 @@ class CrashStateSpace:
         flushes, no extra dirty-line writebacks) — the image the plain
         single-image crash path observes."""
         return [ev.eid for ev in self.events if ev.kind == KIND_FLUSH]
+
+    def signature(self) -> Tuple[Tuple[object, ...], ...]:
+        """Canonical, time-independent form of the space.
+
+        Two spaces with equal signatures expose exactly the same
+        reachable-image set: the floor, each line's event version
+        chain (kind, issuing core and persisted values, in chain
+        order), and the order edges rewritten as ``(line, chain
+        position)`` pairs.  Event ids and accept/crash *times* — the
+        parts a timing model is free to change — are excluded, which
+        is what lets the equivalence tests compare spaces produced by
+        different :class:`~repro.sim.timing.TimingModel` pipelines.
+        """
+        pos: Dict[int, Tuple[int, int]] = {}
+        chains: Dict[int, List[PersistEvent]] = {}
+        for ev in sorted(self.events, key=lambda e: e.eid):
+            chain = chains.setdefault(ev.line_addr, [])
+            pos[ev.eid] = (ev.line_addr, len(chain))
+            chain.append(ev)
+        lines = tuple(
+            (
+                line_addr,
+                tuple(
+                    (
+                        ev.kind,
+                        ev.core_id,
+                        tuple(sorted(ev.values.items())),
+                        tuple(sorted(ev.prior.items())),
+                    )
+                    for ev in chain
+                ),
+            )
+            for line_addr, chain in sorted(chains.items())
+        )
+        edges = tuple(sorted((pos[a], pos[b]) for a, b in self.edges))
+        floor = tuple(sorted(self.floor.items()))
+        return (floor, lines, edges)
 
 
 class PersistOrderTracker:
@@ -200,7 +237,7 @@ class PersistOrderTracker:
     # -- crash snapshot ---------------------------------------------------
 
     def snapshot(
-        self, dirty_line_addrs, crash_time: float
+        self, dirty_line_addrs: Iterable[int], crash_time: float
     ) -> CrashStateSpace:
         """Build the reachable-image space at a crash.
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.sim.ledger import LatencyLedger
+
 
 @dataclass
 class CoreStats:
@@ -64,6 +66,12 @@ class MachineStats:
     #: multiplies writes, which shows up here as a higher per-line
     #: maximum (the cell that wears out first).
     writes_per_line: Dict[int, int] = field(default_factory=dict)
+
+    #: The accounting layer (see :mod:`repro.sim.ledger`): every stall
+    #: cycle the timing model charges, attributed to its cause.  The
+    #: legacy counters above stay authoritative for the paper's
+    #: metrics; the ledger adds the cause breakdown.
+    ledger: LatencyLedger = field(default_factory=LatencyLedger)
 
     def for_cores(self, num_cores: int) -> "MachineStats":
         """Initialise per-core counters; returns self."""
@@ -138,6 +146,10 @@ class MachineStats:
         self.total_volatility_cycles += cycles
         if cycles > self.max_volatility_cycles:
             self.max_volatility_cycles = cycles
+
+    def stall_summary(self) -> Dict[str, float]:
+        """Stall cycles by cause (the ledger's attribution), flat."""
+        return dict(self.ledger.stall_cycles)
 
     def summary(self) -> Dict[str, float]:
         """Flat dict of the headline metrics, for reporting."""

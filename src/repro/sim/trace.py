@@ -8,7 +8,7 @@ opt-in and adds no cost to untraced runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List, Optional, Tuple, Type
 
 from repro.sim.isa import Op
 
@@ -23,7 +23,7 @@ class Trace:
         """The recorded ops, without results."""
         return [op for op, _ in self.events]
 
-    def count(self, op_type: type) -> int:
+    def count(self, op_type: Type[Op]) -> int:
         """Number of recorded ops of the given type."""
         return sum(1 for op, _ in self.events if isinstance(op, op_type))
 

@@ -37,10 +37,13 @@ class MemoryState:
 
     def load(self, addr: int) -> Value:
         """Architectural load (what the program sees)."""
-        self._check(addr)
+        # Hot path: only aligned positive addresses ever enter the map
+        # (init/store validate before writing), so a present key needs
+        # no re-validation; diagnose alignment only on the miss path.
         try:
             return self.arch[addr]
         except KeyError:
+            self._check(addr)
             raise AddressError(f"load from unwritten address {addr:#x}") from None
 
     def store(self, addr: int, value: Value) -> None:
@@ -86,9 +89,22 @@ class MemoryState:
 
     def crashed_copy(self) -> "MemoryState":
         """State as seen after power loss: only the NVMM image survives."""
-        fresh = MemoryState()
-        fresh.persistent = dict(self.persistent)
-        fresh.arch = dict(self.persistent)
+        return MemoryState.from_image(self.persistent)
+
+    @classmethod
+    def from_image(cls, image: Dict[int, Value]) -> "MemoryState":
+        """State whose NVMM holds ``image`` and nothing else survives.
+
+        This is the post-crash construction rule in one place: the
+        architectural view equals the persistent image (recovery code
+        reads exactly what the NVMM kept).  Used both for the schedule
+        the simulator happened to produce (:meth:`crashed_copy`) and
+        for any other member of a crash's reachable-image set
+        (:meth:`repro.sim.machine.Machine.after_crash_with_image`).
+        """
+        fresh = cls()
+        fresh.persistent = dict(image)
+        fresh.arch = dict(image)
         return fresh
 
     @staticmethod

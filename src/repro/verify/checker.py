@@ -210,9 +210,19 @@ def _recovery_fails(
     image: Dict[int, float],
     num_threads: int,
     engine: str,
+    replay: bool = True,
 ) -> bool:
-    """True when recovery on ``image`` yields wrong final output."""
-    post = crashed_machine.after_crash_with_image(image)
+    """True when recovery on ``image`` yields wrong final output.
+
+    By default recovery runs on a **replay machine** (cache-free
+    architectural semantics, functional timing): the verdict depends
+    only on the values recovery computes, and caches are
+    architecturally transparent, so replay is exact for this question
+    while skipping the coherence walk that otherwise dominates campaign
+    wall-clock.  ``replay=False`` restores the full-machine recovery
+    run (equivalence tests and benchmarks use it).
+    """
+    post = crashed_machine.after_crash_with_image(image, replay=replay)
     rebound = workload.bind(
         post, num_threads=num_threads, engine=engine, create=False
     )
@@ -259,9 +269,19 @@ def check_crash_point(
     num_threads: int = 2,
     engine: str = "modular",
     cleaner_period: Optional[float] = None,
+    timing: Optional[str] = None,
+    replay: bool = True,
 ) -> CrashPointReport:
     """Run ``variant`` to the ``crash`` trigger, enumerate every
-    reachable image, and check recovery against each."""
+    reachable image, and check recovery against each.
+
+    ``timing`` overrides the config's timing model for the crash-point
+    run (the run that defines the reachable-image space); ``replay``
+    selects the fast cache-free machine for per-image recovery runs
+    (see :func:`_recovery_fails`).
+    """
+    if timing is not None:
+        config = config.with_timing(timing)
     crash_key = plan_to_dict(crash)
     machine = Machine(config)
     if cleaner_period is not None:
@@ -301,6 +321,7 @@ def check_crash_point(
             space.image_for(eids),
             num_threads,
             engine,
+            replay=replay,
         )
 
     known: List[FrozenSet[int]] = []
@@ -338,6 +359,8 @@ def check_variant(
     engine: str = "modular",
     cleaner_period: Optional[float] = None,
     stop_on_failure: bool = False,
+    timing: Optional[str] = None,
+    replay: bool = True,
 ) -> CrashCheckReport:
     """Check one variant at each crash point; see
     :func:`check_crash_point`."""
@@ -352,6 +375,8 @@ def check_variant(
             num_threads=num_threads,
             engine=engine,
             cleaner_period=cleaner_period,
+            timing=timing,
+            replay=replay,
         )
         report.points.append(point)
         if stop_on_failure and not point.ok:
@@ -366,13 +391,19 @@ def replay_counterexample(
     num_threads: int = 2,
     engine: str = "modular",
     cleaner_period: Optional[float] = None,
+    timing: Optional[str] = None,
 ) -> bool:
     """Re-run a counterexample from its replay fields.
 
     Returns True when the failure reproduces (recovery on the minimized
     image is still wrong).  Deterministic: the run, the snapshot, and
-    the event ids all reproduce from (workload, config, crash point).
+    the event ids all reproduce from (workload, config, crash point) —
+    ``timing`` must therefore match the timing model the counterexample
+    was found under (it changes multicore interleaving and hence the
+    space's event ids).
     """
+    if timing is not None:
+        config = config.with_timing(timing)
     machine = Machine(config)
     if cleaner_period is not None:
         machine.cleaner = PeriodicCleaner(cleaner_period)

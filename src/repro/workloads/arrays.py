@@ -13,7 +13,7 @@ from typing import Generator, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.sim.address import Region
+from repro.sim.address import ELEMENT_BYTES, Region
 from repro.sim.isa import Load, Op, Store
 from repro.sim.machine import Machine
 
@@ -104,7 +104,14 @@ class PMatrix:
 
     def addr(self, i: int, j: int) -> int:
         """Element address of (i, j)."""
-        return self.region.addr(self.index(i, j))
+        # Hot path for every timed element access: one combined bounds
+        # check (an in-range (i, j) is always in range for the region).
+        if 0 <= i < self.rows and 0 <= j < self.cols:
+            return self.region.base + (i * self.cols + j) * ELEMENT_BYTES
+        raise WorkloadError(
+            f"({i},{j}) out of bounds for {self.rows}x{self.cols} "
+            f"matrix {self.name!r}"
+        )
 
     # -- timed ops -------------------------------------------------------------
 

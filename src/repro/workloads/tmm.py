@@ -309,22 +309,23 @@ class BoundTMM(BoundWorkload):
             elif gran == "ii":
                 ck = self.lp.begin_region()  # ResetCheckSum()
 
+        a_addr, b_addr, c_addr = self.a.addr, self.b.addr, self.c.addr
         for jjt in range(T):
             jj = jjt * b
             if variant == VARIANT_LP and gran == "jj":
                 ck = self.lp.begin_region()
             for i in range(ii, ii + b):
                 for j in range(jj, jj + b):
-                    s = yield from self.c.read(i, j)
+                    s = yield Load(c_addr(i, j))
                     for k in range(kk, kk + b):
-                        av = yield from self.a.read(i, k)
-                        bv = yield from self.b.read(k, j)
+                        av = yield Load(a_addr(i, k))
+                        bv = yield Load(b_addr(k, j))
                         s += av * bv
                     yield Compute(2 * b)  # the k-loop multiply-adds
                     if variant == VARIANT_WAL:
-                        wal_writes.append((self.c.addr(i, j), s))
+                        wal_writes.append((c_addr(i, j), s))
                     else:
-                        yield from self.c.write(i, j, s)
+                        yield Store(c_addr(i, j), s)
                     if ck is not None:
                         yield from ck.update(s)  # UpdateCheckSum(c[i][j])
             if variant == VARIANT_LP and gran == "jj":
@@ -357,15 +358,21 @@ class BoundTMM(BoundWorkload):
         spec = self.spec
         b, T = spec.bsize, spec.tiles
         kk, ii, jj = kkt * b, iit * b, jjt * b
+        # Loads/stores are yielded directly (not via the PMatrix
+        # generator helpers): the innermost loop runs for every image
+        # of every crash-state check, and one sub-generator frame per
+        # element access is the difference between the campaign being
+        # interactive or not.  The op stream is identical either way.
+        a_addr, b_addr, c_addr = self.a.addr, self.b.addr, self.c.addr
         for i in range(ii, ii + b):
             for j in range(jj, jj + b):
-                s = yield from self.c.read(i, j)
+                s = yield Load(c_addr(i, j))
                 for k in range(kk, kk + b):
-                    av = yield from self.a.read(i, k)
-                    bv = yield from self.b.read(k, j)
+                    av = yield Load(a_addr(i, k))
+                    bv = yield Load(b_addr(k, j))
                     s += av * bv
                 yield Compute(2 * b)  # the k-loop multiply-adds
-                yield from self.c.write(i, j, s)
+                yield Store(c_addr(i, j), s)
             # EagerRecompute: persist the finished row stride
             # (bsize elements = one clflushopt per covered line).
             yield from persist_addrs(self.c.row_addrs(i, jj, jj + b))
@@ -469,16 +476,17 @@ class BoundTMM(BoundWorkload):
         b = self.spec.bsize
         ii, jj = iit * b, jjt * b
         k_hi = 0 if last_kkt is None else (last_kkt + 1) * b
+        a_addr, b_addr, c_addr = self.a.addr, self.b.addr, self.c.addr
         for i in range(ii, ii + b):
             for j in range(jj, jj + b):
                 s = 0.0
                 for k in range(k_hi):
-                    av = yield from self.a.read(i, k)
-                    bv = yield from self.b.read(k, j)
+                    av = yield Load(a_addr(i, k))
+                    bv = yield Load(b_addr(k, j))
                     s += av * bv
                 if k_hi:
                     yield Compute(2 * k_hi)
-                yield from self.c.write(i, j, s)
+                yield Store(c_addr(i, j), s)
             yield from persist_addrs(self.c.row_addrs(i, jj, jj + b))
         yield Fence()
 

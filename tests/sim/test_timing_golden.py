@@ -1,0 +1,101 @@
+"""Golden-run regression: detailed timing must reproduce the
+pre-refactor numbers bit-for-bit.
+
+The numbers below were captured from the simulator *before* the
+semantics/timing split (``MachineStats.summary()`` of tiny-preset runs,
+2 threads, LP and EP variants of tmm/fft/gauss).  The ``DetailedTiming``
+model is required to reproduce every one of them exactly — execution
+cycles, Table VI hazard counters, NVMM write/read counts, L2 miss rate
+and volatility duration — which is what makes the refactor provably
+behavior-preserving on the metrics the paper reports.
+
+Do not regenerate these numbers to make a failing run pass: a diff here
+means the detailed timing model changed, which is exactly what this
+test exists to catch.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_variant
+from repro.sim.config import tiny_machine
+from repro.workloads import get_workload
+
+PARAMS = {
+    "tmm": {"n": 8, "bsize": 4, "kk_tiles": 1},
+    "fft": {"n": 16},
+    "gauss": {"n": 8, "row_block": 4},
+}
+
+#: Captured pre-refactor: {workload/variant: exact expected metrics}.
+GOLDEN = {
+    "tmm/lp": {
+        "exec_cycles": 3881.75,
+        "nvmm_writes": 0,
+        "nvmm_reads": 21,
+        "l2_miss_rate": 0.2,
+        "max_volatility_cycles": 0.0,
+        "hazards": {"mshr": 0, "fui": 0, "fur": 31, "fuw": 0},
+        "ops_executed": 774,
+    },
+    "tmm/ep": {
+        "exec_cycles": 5837.0,
+        "nvmm_writes": 20,
+        "nvmm_reads": 32,
+        "l2_miss_rate": 0.2782608695652174,
+        "max_volatility_cycles": 128.5,
+        "hazards": {"mshr": 0, "fui": 5608, "fur": 36, "fuw": 0},
+        "ops_executed": 738,
+    },
+    "fft/lp": {
+        "exec_cycles": 1604.0,
+        "nvmm_writes": 0,
+        "nvmm_reads": 9,
+        "l2_miss_rate": 0.42857142857142855,
+        "max_volatility_cycles": 0.0,
+        "hazards": {"mshr": 0, "fui": 5269, "fur": 12, "fuw": 9},
+        "ops_executed": 448,
+    },
+    "fft/ep": {
+        "exec_cycles": 2818.5,
+        "nvmm_writes": 24,
+        "nvmm_reads": 16,
+        "l2_miss_rate": 0.7272727272727273,
+        "max_volatility_cycles": 73.5,
+        "hazards": {"mshr": 0, "fui": 16096, "fur": 2, "fuw": 0},
+        "ops_executed": 352,
+    },
+    "gauss/lp": {
+        "exec_cycles": 1592.25,
+        "nvmm_writes": 0,
+        "nvmm_reads": 10,
+        "l2_miss_rate": 0.5263157894736842,
+        "max_volatility_cycles": 0.0,
+        "hazards": {"mshr": 0, "fui": 38, "fur": 3, "fuw": 0},
+        "ops_executed": 754,
+    },
+    "gauss/ep": {
+        "exec_cycles": 10840.0,
+        "nvmm_writes": 38,
+        "nvmm_reads": 45,
+        "l2_miss_rate": 0.9375,
+        "max_volatility_cycles": 55.5,
+        "hazards": {"mshr": 0, "fui": 14020, "fur": 18, "fuw": 0},
+        "ops_executed": 634,
+    },
+}
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_detailed_timing_matches_pre_refactor_golden(key):
+    wl_name, variant = key.split("/")
+    workload = get_workload(wl_name)(**PARAMS[wl_name])
+    result = run_variant(workload, tiny_machine(), variant, num_threads=2)
+    want = GOLDEN[key]
+    assert result.exec_cycles == want["exec_cycles"]
+    assert result.nvmm_writes == want["nvmm_writes"]
+    assert result.nvmm_reads == want["nvmm_reads"]
+    assert result.l2_miss_rate == want["l2_miss_rate"]
+    assert result.max_volatility_cycles == want["max_volatility_cycles"]
+    assert result.hazards == want["hazards"]
+    assert result.ops_executed == want["ops_executed"]
+    assert result.verified

@@ -49,19 +49,29 @@ class RecordingCleaner(PeriodicCleaner):
         return written
 
 
+@pytest.mark.parametrize("timing", ["detailed", "functional"])
 @pytest.mark.parametrize("name", sorted(SMALL_PARAMS))
-def test_cleaned_lines_survive_in_every_image(name):
+def test_cleaned_lines_survive_in_every_image(name, timing):
+    # The cleaner is timing-model-agnostic: under functional timing a
+    # period of N cycles means "roughly every N ops", which still
+    # produces mid-run cleanups at these problem sizes — the durability
+    # guarantee must hold identically on both pipelines.
     workload = get_workload(name)(**SMALL_PARAMS[name])
-    machine = Machine(tiny_machine())
-    cleaner = RecordingCleaner(400.0)
+    config = tiny_machine().with_timing(timing)
+    # Functional clocks advance one cycle per op, so the same period
+    # covers far fewer ops than under detailed latencies; shrink it to
+    # keep several mid-run cleanup passes at these problem sizes.
+    period = 400.0 if timing == "detailed" else 100.0
+    machine = Machine(config)
+    cleaner = RecordingCleaner(period)
     machine.cleaner = cleaner
     bound = workload.bind(machine, num_threads=2, engine="modular")
 
     # Profile the run length, then crash near the end with the same
     # setup, so every workload has gone through dirty-line cleanups.
     total = machine.run(bound.threads("lp")).ops_executed
-    machine = Machine(tiny_machine())
-    cleaner = RecordingCleaner(400.0)
+    machine = Machine(config)
+    cleaner = RecordingCleaner(period)
     machine.cleaner = cleaner
     bound = workload.bind(machine, num_threads=2, engine="modular")
     result, space = run_to_crash_space(
@@ -108,12 +118,13 @@ def test_cleaned_lines_survive_in_every_image(name):
             assert candidate.image[addr] == value
 
 
-def test_cleaner_shrinks_uncertain_event_set():
+@pytest.mark.parametrize("timing", ["detailed", "functional"])
+def test_cleaner_shrinks_uncertain_event_set(timing):
     """More frequent cleaning -> fewer reorderable events at a crash."""
     workload = get_workload("tmm")(**SMALL_PARAMS["tmm"])
 
     def events_at_crash(period):
-        machine = Machine(tiny_machine())
+        machine = Machine(tiny_machine().with_timing(timing))
         if period is not None:
             machine.cleaner = PeriodicCleaner(period)
         bound = workload.bind(machine, num_threads=2, engine="modular")
