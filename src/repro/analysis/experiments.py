@@ -10,7 +10,7 @@ counters, max volatility duration).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.errors import WorkloadError
 from repro.sim.cleaner import PeriodicCleaner
@@ -43,6 +43,12 @@ class ExperimentResult:
     #: :class:`~repro.sim.events.LatencyLedger` (empty under the
     #: functional model, which never stalls).
     stalls: Dict[str, float] = field(default_factory=dict)
+    #: Interval time series from the probe bus (the JSON-safe dict of
+    #: :meth:`repro.obs.intervals.IntervalSampler.series`); ``None``
+    #: unless ``run_variant(..., obs_interval=N)`` sampled the run.
+    #: Results carrying a series are cached under a distinct key
+    #: (``Job.obs_interval``), so plain runs never pay for or see it.
+    intervals: Optional[Dict[str, object]] = None
 
     @property
     def total_writes(self) -> int:
@@ -112,8 +118,19 @@ def run_variant(
     cleaner_period: Optional[float] = None,
     verify: bool = True,
     drain: bool = False,
+    obs_interval: Optional[float] = None,
+    observers: Optional[Sequence[object]] = None,
 ) -> ExperimentResult:
-    """Run one variant start-to-finish and collect its metrics."""
+    """Run one variant start-to-finish and collect its metrics.
+
+    ``obs_interval`` samples the run into an ``obs_interval``-cycle
+    time series (the result's ``intervals`` field); ``observers`` taps
+    arbitrary probe observers (e.g. a ``TraceRecorder``) into the run.
+    Either one attaches the probe bus around the measured window only
+    — the drain pass stays untraced so writeback event counts match
+    the in-window ``nvmm_writes``.  Plain runs (both ``None``) never
+    touch ``repro.obs``.
+    """
     workload.check_variant(variant)
     if num_threads > config.num_cores:
         raise WorkloadError(
@@ -124,7 +141,25 @@ def run_variant(
     if cleaner_period is not None:
         machine.cleaner = PeriodicCleaner(cleaner_period)
     bound = workload.bind(machine, num_threads=num_threads, engine=engine)
-    result = machine.run(bound.threads(variant))
+
+    sampler = None
+    if obs_interval is not None or observers:
+        # Imported lazily: plain runs must not pay for (or depend on)
+        # the observability package.
+        from repro.obs import IntervalSampler, ProbeBus, attach_probes
+
+        obs_list = list(observers or [])
+        if obs_interval is not None:
+            sampler = IntervalSampler(obs_interval)
+            obs_list.append(sampler)
+        attach_probes(machine, ProbeBus(obs_list))
+    try:
+        result = machine.run(bound.threads(variant))
+    finally:
+        if obs_interval is not None or observers:
+            from repro.obs import detach_probes
+
+            detach_probes(machine)
     exec_cycles = result.exec_cycles
     in_window_writes = result.stats.nvmm_writes
     drain_writes = machine.drain() if drain else 0
@@ -151,6 +186,7 @@ def run_variant(
         ops_executed=result.ops_executed,
         cleaner_writes=result.stats.writes_by_cause.get("cleaner", 0),
         stalls=result.stats.stall_summary(),
+        intervals=sampler.series() if sampler is not None else None,
     )
 
 
@@ -163,6 +199,7 @@ def compare_variants(
     drain: bool = False,
     n_jobs: int = 1,
     cache=None,
+    obs_interval: Optional[float] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run several variants of one workload under identical conditions.
 
@@ -182,6 +219,7 @@ def compare_variants(
             num_threads=num_threads,
             engine=engine,
             drain=drain,
+            obs_interval=obs_interval,
         )
         for v in variants
     ]

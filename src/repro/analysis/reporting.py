@@ -44,6 +44,24 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """The same table as GitHub-flavored markdown (``repro report --md``)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         if cell == 0:

@@ -127,26 +127,32 @@ class Job:
     cleaner_period: Optional[float] = None
     verify: bool = True
     drain: bool = False
+    #: Interval-sampling window in cycles (``None`` = no observability).
+    #: Part of the cache key when set, so sampled results live under
+    #: distinct keys and can never be served to (or poison) plain runs.
+    obs_interval: Optional[float] = None
 
     def cache_key(self) -> str:
         """Content-addressed identity of this job's result."""
-        payload = json.dumps(
-            {
-                "workload": workload_spec(self.workload),
-                "config": self.config.cache_key(),
-                "variant": self.variant,
-                "num_threads": self.num_threads,
-                "engine": self.engine,
-                "cleaner_period": self.cleaner_period,
-                "verify": self.verify,
-                "drain": self.drain,
-                "code": code_version(),
-                "format": CACHE_FORMAT_VERSION,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        payload = {
+            "workload": workload_spec(self.workload),
+            "config": self.config.cache_key(),
+            "variant": self.variant,
+            "num_threads": self.num_threads,
+            "engine": self.engine,
+            "cleaner_period": self.cleaner_period,
+            "verify": self.verify,
+            "drain": self.drain,
+            "code": code_version(),
+            "format": CACHE_FORMAT_VERSION,
+        }
+        # Only present when sampling, so every pre-observability key
+        # (and any plain run's key) is byte-identical to before.
+        if self.obs_interval is not None:
+            payload["obs_interval"] = self.obs_interval
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
 
     def run(self) -> ExperimentResult:
         """Execute the point (no cache), with deterministic seeding.
@@ -173,6 +179,7 @@ class Job:
             cleaner_period=self.cleaner_period,
             verify=self.verify,
             drain=self.drain,
+            obs_interval=self.obs_interval,
         )
 
 

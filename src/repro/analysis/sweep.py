@@ -10,6 +10,11 @@ engine (:mod:`repro.analysis.runner`): pass ``n_jobs=N`` to simulate
 independent points on N processes and ``cache=ResultCache()`` to
 memoize each point on disk.  The defaults (``n_jobs=1``, no cache)
 reproduce the original serial behaviour exactly.
+
+``obs_interval=N`` additionally samples every point into an N-cycle
+interval series (``result.intervals``); sampled points are cached
+under distinct keys, so plain sweeps and sampled sweeps never share
+cache entries.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ def sweep_nvmm_latency(
     num_threads: int = 8,
     n_jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    obs_interval: Optional[float] = None,
 ) -> Dict[Tuple[float, float], Dict[str, ExperimentResult]]:
     """Figure 14(a): (read, write) latency points, in cycles."""
     latencies = [tuple(point) for point in latencies]
@@ -49,6 +55,7 @@ def sweep_nvmm_latency(
             config.with_nvmm_latency(read_cycles, write_cycles),
             v,
             num_threads=num_threads,
+            obs_interval=obs_interval,
         )
         for read_cycles, write_cycles in latencies
         for v in variants
@@ -64,6 +71,7 @@ def sweep_threads(
     variants: Sequence[str] = ("base", "lp"),
     n_jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    obs_interval: Optional[float] = None,
 ) -> Dict[int, Dict[str, ExperimentResult]]:
     """Figure 14(b): scalability from 1 to 16 threads."""
     jobs = [
@@ -72,6 +80,7 @@ def sweep_threads(
             config.with_cores(cores_for_workers(p, config)),
             v,
             num_threads=p,
+            obs_interval=obs_interval,
         )
         for p in thread_counts
         for v in variants
@@ -88,10 +97,17 @@ def sweep_l2_size(
     num_threads: int = 8,
     n_jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    obs_interval: Optional[float] = None,
 ) -> Dict[int, Dict[str, ExperimentResult]]:
     """Figure 15(a): L2 capacity sweep."""
     jobs = [
-        Job(workload, config.with_l2_size(size), v, num_threads=num_threads)
+        Job(
+            workload,
+            config.with_l2_size(size),
+            v,
+            num_threads=num_threads,
+            obs_interval=obs_interval,
+        )
         for size in sizes_bytes
         for v in variants
     ]
@@ -106,10 +122,18 @@ def sweep_checksum(
     num_threads: int = 8,
     n_jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    obs_interval: Optional[float] = None,
 ) -> Dict[str, ExperimentResult]:
     """Figure 15(b): LP under each error-detection code."""
     jobs = [
-        Job(workload, config, "lp", num_threads=num_threads, engine=e)
+        Job(
+            workload,
+            config,
+            "lp",
+            num_threads=num_threads,
+            engine=e,
+            obs_interval=obs_interval,
+        )
         for e in engines
     ]
     results = run_jobs(jobs, n_jobs=n_jobs, cache=cache)
@@ -124,6 +148,7 @@ def sweep_cleaner_period(
     num_threads: int = 8,
     n_jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    obs_interval: Optional[float] = None,
 ) -> Dict[Optional[float], ExperimentResult]:
     """Figure 11: periodic-flush interval sweep (None = no cleaner)."""
     jobs = [
@@ -133,6 +158,7 @@ def sweep_cleaner_period(
             variant,
             num_threads=num_threads,
             cleaner_period=p,
+            obs_interval=obs_interval,
         )
         for p in periods
     ]

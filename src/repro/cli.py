@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Dict, List, Optional
 
 from repro.analysis.crashlab import run_crash_campaign, run_crashcheck_campaign
@@ -116,15 +117,19 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    config = _machine(args)
+    started = time.perf_counter()
     result = run_variant(
         _workload(args),
-        _machine(args),
+        config,
         args.variant,
         num_threads=args.threads,
         engine=args.engine,
         cleaner_period=args.cleaner_period,
         drain=args.drain,
+        obs_interval=args.obs_interval,
     )
+    wall_clock_s = time.perf_counter() - started
     rows = [[k, v] for k, v in sorted(result.summary_dict().items())]
     print(
         format_table(
@@ -132,6 +137,94 @@ def _cmd_run(args) -> int:
             title=f"{args.workload}+{args.variant} ({args.threads} threads)",
         )
     )
+    if args.obs_out:
+        if result.intervals is None:
+            raise SystemExit("--obs-out requires --obs-interval")
+        _write_intervals(result.intervals, args.obs_out)
+        print(f"\n[interval series saved to {args.obs_out}]")
+    if args.report_out:
+        from repro.obs import RunReport
+
+        report = RunReport.from_result(
+            result,
+            config,
+            engine=args.engine,
+            wall_clock_s=wall_clock_s,
+            workload_params=_parse_params(args.param),
+        )
+        report.save(args.report_out)
+        print(f"[run report saved to {args.report_out}]")
+    return 0
+
+
+def _write_intervals(intervals: Dict[str, object], out: str) -> None:
+    """Dump an interval series as JSON, or CSV for ``.csv`` paths."""
+    import json
+
+    if out.endswith(".csv"):
+        from repro.obs import IntervalSampler
+
+        text = IntervalSampler(
+            float(intervals["interval"])  # type: ignore[arg-type]
+        ).csv(intervals)
+        with open(out, "w") as fh:
+            fh.write(text)
+    else:
+        with open(out, "w") as fh:
+            json.dump(intervals, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import RunReport, TraceRecorder, write_chrome_trace
+    from repro.obs.report import config_hash
+
+    config = _machine(args)
+    recorder = TraceRecorder()
+    result = run_variant(
+        _workload(args),
+        config,
+        args.variant,
+        num_threads=args.threads,
+        engine=args.engine,
+        cleaner_period=args.cleaner_period,
+        observers=[recorder],
+    )
+    out = args.out or f"{args.workload}-{args.variant}.trace.json"
+    count = write_chrome_trace(
+        recorder,
+        out,
+        label=f"{args.workload}/{args.variant}",
+        metadata={
+            "workload": args.workload,
+            "variant": args.variant,
+            "threads": args.threads,
+            "timing": config.timing,
+            "config_hash": config_hash(config),
+        },
+    )
+    print(
+        f"{args.workload}/{args.variant}: {len(recorder)} probe events "
+        f"-> {count} trace events -> {out}"
+    )
+    print("open in ui.perfetto.dev or chrome://tracing")
+    if args.report_out:
+        report = RunReport.from_result(
+            result,
+            config,
+            engine=args.engine,
+            workload_params=_parse_params(args.param),
+        )
+        report.save(args.report_out)
+        print(f"[run report saved to {args.report_out}]")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import RunReport, render_reports
+
+    reports = [RunReport.load(path) for path in args.reports]
+    print(render_reports(reports, fmt="md" if args.md else "text"))
     return 0
 
 
@@ -146,6 +239,7 @@ def _cmd_compare(args) -> int:
         drain=True,  # count residual dirty lines: fair at small scale
         n_jobs=args.jobs,
         cache=_cache(args),
+        obs_interval=args.obs_interval,
     )
     base_name = variants[0]
     base = results[base_name]
@@ -348,7 +442,9 @@ def _cmd_idempotence(args) -> int:
 def _cmd_reproduce(args) -> int:
     from repro.analysis.paperfigures import reproduce
 
-    report = reproduce(scale=args.scale, n_jobs=args.jobs)
+    report = reproduce(
+        scale=args.scale, n_jobs=args.jobs, obs_interval=args.obs_interval
+    )
     print(report)
     if args.out:
         with open(args.out, "w") as fh:
@@ -361,7 +457,9 @@ def _cmd_sweep(args) -> int:
     wl = _workload(args)
     cfg = _machine(args)
     cache = _cache(args)
-    engine_opts = dict(n_jobs=args.jobs, cache=cache)
+    engine_opts = dict(
+        n_jobs=args.jobs, cache=cache, obs_interval=args.obs_interval
+    )
     if args.kind == "checksum":
         out = sweeps.sweep_checksum(
             wl, cfg, available_engines(), num_threads=args.threads,
@@ -452,6 +550,14 @@ def build_parser() -> argparse.ArgumentParser:
             "semantics-only runs)",
         )
 
+    def obs_flag(p):
+        p.add_argument(
+            "--obs-interval", type=float, default=None, metavar="CYCLES",
+            help="sample the run into a CYCLES-wide interval time series "
+            "(stalls, writes, queue depth per window; cached under a "
+            "distinct key)",
+        )
+
     def engine_flags(p):
         p.add_argument(
             "--jobs", type=int, default=1, metavar="N",
@@ -472,10 +578,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--variant", default="lp")
     p_run.add_argument("--cleaner-period", type=float, default=None)
     p_run.add_argument("--drain", action="store_true")
+    obs_flag(p_run)
+    p_run.add_argument(
+        "--obs-out", default=None, metavar="FILE",
+        help="write the interval series here (.csv for CSV, else JSON; "
+        "needs --obs-interval)",
+    )
+    p_run.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="write a RunReport manifest (JSON) for `repro report`",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="record a run and export a Perfetto/Chrome trace"
+    )
+    common(p_trace)
+    p_trace.add_argument("--variant", default="lp")
+    p_trace.add_argument("--cleaner-period", type=float, default=None)
+    p_trace.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="trace output path (default: <workload>-<variant>.trace.json)",
+    )
+    p_trace.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="also write a RunReport manifest (JSON)",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="render RunReport manifests as a comparison table"
+    )
+    p_report.add_argument(
+        "reports", nargs="+", metavar="REPORT.json",
+        help="RunReport files (from run/trace --report-out)",
+    )
+    p_report.add_argument(
+        "--md", action="store_true", help="emit a markdown table"
+    )
 
     p_cmp = sub.add_parser("compare", help="compare variants (normalized)")
     common(p_cmp)
     engine_flags(p_cmp)
+    obs_flag(p_cmp)
     p_cmp.add_argument("--variants", default="base,lp,ep")
 
     p_crash = sub.add_parser("crash", help="crash an LP run and recover")
@@ -551,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_sweep)
     engine_flags(p_sweep)
+    obs_flag(p_sweep)
 
     p_idem = sub.add_parser(
         "idempotence", help="classify a workload's LP regions (III-E)"
@@ -566,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="run experiment points on N parallel processes",
     )
+    obs_flag(p_rep)
     return parser
 
 
@@ -575,6 +720,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "trace": _cmd_trace,
+        "report": _cmd_report,
         "compare": _cmd_compare,
         "crash": _cmd_crash,
         "crashcheck": _cmd_crashcheck,

@@ -1,0 +1,69 @@
+"""Observability for the simulator: probe bus, metrics, traces, reports.
+
+The paper's claims are all timing/write-count claims, and diagnosing
+*why* one persistency scheme beats another needs visibility into the
+persist pipeline over time — when fence stalls cluster, how the MC
+write queue fills, what the cleaner is doing.  This package adds that
+visibility without touching the simulator's hot path:
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.bus` — the **probe bus**:
+  typed probe events and a fan-out bus observers subscribe to.
+* :mod:`repro.obs.taps` — ``attach_probes``/``detach_probes``/
+  ``probed``: install per-instance taps on a built
+  :class:`~repro.sim.machine.Machine`.  Nothing in ``repro.sim``
+  branches on observability; an untapped machine runs byte-identical
+  code (zero overhead when disabled).
+* :mod:`repro.obs.intervals` — :class:`IntervalSampler`: rolls probe
+  events into a per-N-cycles time series (stall cycles by cause, NVMM
+  writes by cause, per-core IPC, MC queue depth, ...), dumpable as
+  JSON/CSV and surfaced on
+  :class:`~repro.analysis.experiments.ExperimentResult`.
+* :mod:`repro.obs.recorder` / :mod:`repro.obs.perfetto` —
+  :class:`TraceRecorder` and a Chrome-trace/Perfetto exporter whose
+  output loads directly in ``ui.perfetto.dev``.
+* :mod:`repro.obs.report` — :class:`RunReport`: a run manifest
+  (config hash, code version, seed, timing model, wall clock) plus
+  headline metrics, consumed by ``repro report``.
+
+See ``docs/observability.md`` for the probe-bus contract and the trace
+schema.
+"""
+
+from repro.obs.bus import ProbeBus, ProbeObserver
+from repro.obs.events import (
+    CleanerPass,
+    HazardHit,
+    MemEvent,
+    NvmmRead,
+    OpExecuted,
+    ProbeEvent,
+    StallCharged,
+    WritebackAccepted,
+)
+from repro.obs.intervals import IntervalSampler
+from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
+from repro.obs.recorder import TraceRecorder
+from repro.obs.report import RunReport, render_reports
+from repro.obs.taps import attach_probes, detach_probes, probed
+
+__all__ = [
+    "ProbeBus",
+    "ProbeObserver",
+    "ProbeEvent",
+    "OpExecuted",
+    "MemEvent",
+    "StallCharged",
+    "HazardHit",
+    "WritebackAccepted",
+    "NvmmRead",
+    "CleanerPass",
+    "IntervalSampler",
+    "TraceRecorder",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "RunReport",
+    "render_reports",
+    "attach_probes",
+    "detach_probes",
+    "probed",
+]

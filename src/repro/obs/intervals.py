@@ -1,0 +1,184 @@
+"""Interval metrics: roll probe events into a per-N-cycles time series.
+
+gem5 (the paper's simulator) dumps its stats per interval so a run can
+be read as a *trajectory* rather than one opaque total — when do fence
+stalls cluster, when does the MC write queue fill, when does the
+cleaner wake up.  :class:`IntervalSampler` recreates that for this
+simulator: subscribe one to a :class:`~repro.obs.bus.ProbeBus` and it
+buckets every probe event into fixed-width windows of the publishing
+core's clock.
+
+Columns (one value per bucket; only columns that saw events exist):
+
+===========================  ==========================================
+``ops.core<i>``              ops retired on core *i* (bucket of op end)
+``ipc.core<i>``              derived: ``ops.core<i> / interval``
+``fences``                   Fence ops retired (all cores)
+``stalls.<cause>``           stall cycles charged, bucketed at the
+                             stall's *start* (a stall spanning buckets
+                             is charged whole to its start bucket so
+                             totals reconcile exactly with the ledger)
+``lost_slots``               issue slots lost to stalls (the FUI
+                             component the ledger folds in)
+``hazards.<cause>``          structural-hazard events
+``writes.<cause>``           NVMM writes accepted (bucket of accept)
+``queue_delay_cycles``       MC write-queue backpressure felt
+``mc_queue_depth.max``       peak write-queue occupancy sampled at
+                             acceptances in the bucket
+``volatility.max``           peak dirty-to-durable window closing in
+                             the bucket
+``nvmm_reads``               NVMM line reads (L2 miss fills)
+``l1_misses``                demand misses leaving the L1 (= L2
+                             accesses)
+``l2_miss_rate``             derived: ``nvmm_reads / l1_misses``
+``cleaner.passes``           periodic-cleaner passes
+``cleaner.lines``            lines the cleaner wrote back
+===========================  ==========================================
+
+Sum-type columns sum *exactly* to the matching
+:class:`~repro.sim.stats.MachineStats` counters (pinned by
+``tests/obs/test_reconcile.py``); the series is JSON-safe
+(:meth:`series`) and CSV-dumpable (:meth:`csv`), and rides on
+:class:`~repro.analysis.experiments.ExperimentResult` as the
+``intervals`` field when ``run_variant(..., obs_interval=N)`` is used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.obs.bus import ProbeObserver
+from repro.obs.events import (
+    CleanerPass,
+    HazardHit,
+    MemEvent,
+    NvmmRead,
+    OpExecuted,
+    StallCharged,
+    WritebackAccepted,
+)
+from repro.sim.isa import Fence
+
+
+class IntervalSampler(ProbeObserver):
+    """Bucket probe events into ``interval``-cycle windows."""
+
+    def __init__(self, interval: float) -> None:
+        if interval <= 0:
+            raise ConfigError("sampling interval must be positive cycles")
+        self.interval = float(interval)
+        #: column name -> {bucket index -> accumulated value}
+        self._sum: Dict[str, Dict[int, float]] = {}
+        #: column name -> {bucket index -> max value}
+        self._max: Dict[str, Dict[int, float]] = {}
+
+    # -- accumulation -------------------------------------------------------
+
+    def _bucket(self, cycle: float) -> int:
+        return int(cycle // self.interval)
+
+    def _add(self, column: str, cycle: float, amount: float) -> None:
+        col = self._sum.setdefault(column, {})
+        b = self._bucket(cycle)
+        col[b] = col.get(b, 0.0) + amount
+
+    def _peak(self, column: str, cycle: float, value: float) -> None:
+        col = self._max.setdefault(column, {})
+        b = self._bucket(cycle)
+        if value > col.get(b, float("-inf")):
+            col[b] = value
+
+    # -- probe channels -----------------------------------------------------
+
+    def on_op(self, ev: OpExecuted) -> None:
+        self._add(f"ops.core{ev.core_id}", ev.end, 1.0)
+        if isinstance(ev.op, Fence):
+            self._add("fences", ev.end, 1.0)
+
+    def on_mem_event(self, ev: MemEvent) -> None:
+        # LoadCommit/StoreCommit with l1_hit=False are exactly the
+        # demand misses that access the L2 (CoreStats.l1_misses).
+        if getattr(ev.event, "l1_hit", True) is False:
+            self._add("l1_misses", ev.cycle, 1.0)
+
+    def on_stall(self, ev: StallCharged) -> None:
+        self._add(f"stalls.{ev.cause}", ev.start, ev.cycles)
+        self._add("lost_slots", ev.start, float(ev.lost_slots))
+
+    def on_hazard(self, ev: HazardHit) -> None:
+        self._add(f"hazards.{ev.cause}", ev.cycle, 1.0)
+
+    def on_writeback(self, ev: WritebackAccepted) -> None:
+        self._add(f"writes.{ev.cause}", ev.accept_time, 1.0)
+        self._add("queue_delay_cycles", ev.accept_time, ev.queue_delay)
+        self._peak(
+            "mc_queue_depth.max", ev.accept_time, float(ev.queue_depth)
+        )
+        if ev.volatility is not None:
+            self._peak("volatility.max", ev.durable_time, ev.volatility)
+
+    def on_nvmm_read(self, ev: NvmmRead) -> None:
+        self._add("nvmm_reads", ev.issued, 1.0)
+
+    def on_cleaner(self, ev: CleanerPass) -> None:
+        self._add("cleaner.passes", ev.cycle, 1.0)
+        self._add("cleaner.lines", ev.cycle, float(ev.lines_written))
+
+    # -- output -------------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        """Buckets from cycle 0 through the latest event seen."""
+        last = -1
+        for col in (*self._sum.values(), *self._max.values()):
+            if col:
+                last = max(last, max(col))
+        return last + 1
+
+    def series(self) -> Dict[str, object]:
+        """The JSON-safe time series (dense lists, one row per bucket)."""
+        nb = self.num_buckets
+        columns: Dict[str, List[float]] = {}
+        for name, col in self._sum.items():
+            columns[name] = [col.get(b, 0.0) for b in range(nb)]
+        for name, col in self._max.items():
+            columns[name] = [col.get(b, 0.0) for b in range(nb)]
+        # Derived columns.
+        for name in list(columns):
+            if name.startswith("ops.core"):
+                core = name[len("ops.core"):]
+                columns[f"ipc.core{core}"] = [
+                    v / self.interval for v in columns[name]
+                ]
+        if "nvmm_reads" in columns and "l1_misses" in columns:
+            columns["l2_miss_rate"] = [
+                (r / a) if a else 0.0
+                for r, a in zip(columns["nvmm_reads"], columns["l1_misses"])
+            ]
+        return {
+            "interval": self.interval,
+            "num_buckets": nb,
+            "columns": {k: columns[k] for k in sorted(columns)},
+        }
+
+    def totals(self) -> Dict[str, float]:
+        """Whole-run sums of every sum-type column (reconciliation)."""
+        return {
+            name: sum(col.values()) for name, col in sorted(self._sum.items())
+        }
+
+    def csv(self, series: Optional[Dict[str, object]] = None) -> str:
+        """The series as CSV text (``bucket,start_cycle,<columns...>``)."""
+        if series is None:
+            series = self.series()
+        columns = series["columns"]
+        assert isinstance(columns, dict)
+        names = sorted(columns)
+        lines = [",".join(["bucket", "start_cycle", *names])]
+        interval = float(series["interval"])  # type: ignore[arg-type]
+        for b in range(int(series["num_buckets"])):  # type: ignore[call-overload]
+            row = [str(b), repr(b * interval)]
+            row += [repr(columns[name][b]) for name in names]
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,229 @@
+"""Chrome-trace / Perfetto export of a recorded run.
+
+Renders a :class:`~repro.obs.recorder.TraceRecorder` into the Chrome
+Trace Event Format (the JSON dialect ``ui.perfetto.dev`` and
+``chrome://tracing`` load directly).  Timestamps are simulator cycles
+mapped 1:1 onto trace microseconds — the viewer's "us" axis reads as
+cycles.
+
+Track layout:
+
+* **pid 0 — "cores"**: two threads per core.  ``tid 2*c`` carries the
+  op slices (``ph: "X"``, one per retired op, named by ISA op type);
+  ``tid 2*c + 1`` carries the stall slices (named by ledger cause:
+  ``fence_drain``, ``mshr_full``, ...) and instant hazard markers
+  (``ph: "i"``).
+* **pid 1 — "memory"**: ``tid 0`` writeback slices (issue ->
+  durable, named ``wb:<cause>``), ``tid 1`` NVMM read slices, ``tid
+  2`` cleaner passes; plus counter tracks (``ph: "C"``) for the MC
+  write-queue depth and the closing volatility window.
+
+Every event carries the four fields Perfetto requires (``ph``, ``ts``,
+``pid``, ``tid``); op and stall slice counts per core reconcile
+exactly with :class:`~repro.sim.stats.MachineStats` (see
+``tests/obs/test_perfetto.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.obs.recorder import TraceRecorder
+from repro.sim.isa import Flush, FlushWB, Load, Store
+
+#: pid of the per-core tracks.
+CORES_PID = 0
+#: pid of the memory-system tracks.
+MEMORY_PID = 1
+
+_MEM_TIDS = {"writebacks": 0, "nvmm reads": 1, "cleaner": 2}
+
+
+def _core_tid(core_id: int) -> int:
+    """Op-track tid of a core (stall track is ``+ 1``)."""
+    return 2 * max(core_id, 0)
+
+
+def _meta(
+    name: str, pid: int, value: str, tid: int = 0
+) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "ts": 0,
+        "name": name,
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": value},
+    }
+
+
+def to_chrome_trace(
+    recorder: TraceRecorder,
+    *,
+    label: str = "repro",
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Render ``recorder`` as a Chrome-trace JSON object.
+
+    ``metadata`` (workload, variant, config hash, ...) lands in the
+    top-level ``otherData`` block, where Perfetto's info panel shows it.
+    """
+    events: List[Dict[str, Any]] = [
+        _meta("process_name", CORES_PID, f"{label} cores"),
+        _meta("process_name", MEMORY_PID, f"{label} memory"),
+    ]
+    for tname, tid in _MEM_TIDS.items():
+        events.append(_meta("thread_name", MEMORY_PID, tname, tid))
+    for core_id in recorder.core_ids():
+        tid = _core_tid(core_id)
+        events.append(
+            _meta("thread_name", CORES_PID, f"core{core_id} ops", tid)
+        )
+        events.append(
+            _meta("thread_name", CORES_PID, f"core{core_id} stalls", tid + 1)
+        )
+
+    for op_ev in recorder.ops:
+        args: Dict[str, Any] = {}
+        if isinstance(op_ev.op, (Load, Store, Flush, FlushWB)):
+            args["addr"] = op_ev.op.addr
+        if op_ev.result is not None:
+            args["result"] = op_ev.result
+        events.append(
+            {
+                "ph": "X",
+                "ts": op_ev.start,
+                "dur": op_ev.end - op_ev.start,
+                "name": type(op_ev.op).__name__,
+                "cat": "op",
+                "pid": CORES_PID,
+                "tid": _core_tid(op_ev.core_id),
+                "args": args,
+            }
+        )
+
+    for stall in recorder.stalls:
+        events.append(
+            {
+                "ph": "X",
+                "ts": stall.start,
+                "dur": stall.cycles,
+                "name": stall.cause,
+                "cat": "stall",
+                "pid": CORES_PID,
+                "tid": _core_tid(stall.core_id) + 1,
+                "args": {"lost_slots": stall.lost_slots},
+            }
+        )
+
+    for hazard in recorder.hazards:
+        events.append(
+            {
+                "ph": "i",
+                "ts": hazard.cycle,
+                "s": "t",
+                "name": hazard.cause,
+                "cat": "hazard",
+                "pid": CORES_PID,
+                "tid": _core_tid(hazard.core_id) + 1,
+                "args": {"legacy_counter": hazard.legacy},
+            }
+        )
+
+    for wb in recorder.writebacks:
+        events.append(
+            {
+                "ph": "X",
+                "ts": wb.issued,
+                "dur": wb.durable_time - wb.issued,
+                "name": f"wb:{wb.cause}",
+                "cat": "writeback",
+                "pid": MEMORY_PID,
+                "tid": _MEM_TIDS["writebacks"],
+                "args": {
+                    "line_addr": wb.line_addr,
+                    "core": wb.core_id,
+                    "queue_delay": wb.queue_delay,
+                },
+            }
+        )
+        events.append(
+            {
+                "ph": "C",
+                "ts": wb.accept_time,
+                "name": "mc_write_queue",
+                "pid": MEMORY_PID,
+                "tid": 0,
+                "args": {"depth": wb.queue_depth},
+            }
+        )
+        if wb.volatility is not None:
+            events.append(
+                {
+                    "ph": "C",
+                    "ts": wb.durable_time,
+                    "name": "volatility",
+                    "pid": MEMORY_PID,
+                    "tid": 0,
+                    "args": {"cycles": wb.volatility},
+                }
+            )
+
+    for read in recorder.nvmm_reads:
+        events.append(
+            {
+                "ph": "X",
+                "ts": read.issued,
+                "dur": read.data_ready - read.issued,
+                "name": "read",
+                "cat": "nvmm_read",
+                "pid": MEMORY_PID,
+                "tid": _MEM_TIDS["nvmm reads"],
+                "args": {"line_addr": read.line_addr},
+            }
+        )
+
+    for cp in recorder.cleaner_passes:
+        events.append(
+            {
+                "ph": "i",
+                "ts": cp.cycle,
+                "s": "p",
+                "name": "cleaner_pass",
+                "cat": "cleaner",
+                "pid": MEMORY_PID,
+                "tid": _MEM_TIDS["cleaner"],
+                "args": {"lines_written": cp.lines_written},
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "repro.obs",
+            "time_unit": "1 trace us == 1 simulated cycle",
+            **(metadata or {}),
+        },
+    }
+
+
+def write_chrome_trace(
+    recorder: TraceRecorder,
+    out: Union[str, IO[str]],
+    *,
+    label: str = "repro",
+    metadata: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write the Chrome-trace JSON to a path or file object.
+
+    Returns the number of trace events written (metadata included).
+    """
+    doc = to_chrome_trace(recorder, label=label, metadata=metadata)
+    if isinstance(out, str):
+        with open(out, "w") as fh:
+            json.dump(doc, fh)
+    else:
+        json.dump(doc, out)
+    return len(doc["traceEvents"])

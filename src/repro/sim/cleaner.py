@@ -42,6 +42,10 @@ class PeriodicCleaner:
         Returns the number of lines written in this call.  Multiple
         missed periods collapse into one pass (the blocks are the same
         dirty blocks either way).
+
+        Probe tap point (``CleanerPass``): ``repro.obs`` wraps this
+        method and publishes one event per pass actually taken
+        (detected via the ``cleanups`` counter).
         """
         if now < self._next_due:
             return 0

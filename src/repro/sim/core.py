@@ -120,7 +120,13 @@ class Core:
     # ------------------------------------------------------------------
 
     def execute(self, op: Op) -> Optional[float]:
-        """Run one op at the current clock; returns the load value if any."""
+        """Run one op at the current clock; returns the load value if any.
+
+        Probe tap point: ``repro.obs`` shadows this method on tapped
+        machines to publish one ``OpExecuted`` per call (op, result,
+        start/end cycle).  Keep it the single entry for op execution —
+        emitting ops elsewhere would escape observability.
+        """
         self.stats.ops += 1
         handler = _OP_HANDLERS.get(type(op))
         if handler is None:

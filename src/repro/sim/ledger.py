@@ -64,7 +64,11 @@ class LatencyLedger:
     # -- recording hooks ---------------------------------------------------
 
     def event(self, stats: HazardCounters, cause: str) -> None:
-        """An op hit a structural hazard (no cycles charged yet)."""
+        """An op hit a structural hazard (no cycles charged yet).
+
+        Probe tap point (``HazardHit``): one call here is one hazard
+        event; traced counts reconcile with the legacy counters.
+        """
         self.stall_events[cause] = self.stall_events.get(cause, 0) + 1
         legacy = EVENT_CAUSES[cause]
         setattr(stats, legacy, getattr(stats, legacy) + 1)
@@ -82,6 +86,10 @@ class LatencyLedger:
         charged to the FUI counter exactly as the pre-refactor
         ``Core._stall_to`` did; fence-drain stalls additionally feed the
         legacy ``fence_stall_cycles`` total.
+
+        Probe tap point (``StallCharged``): callers invoke this before
+        advancing the core clock, so the tap reads the stall's start
+        time from the timer — keep that ordering.
         """
         if cycles <= 0:
             return

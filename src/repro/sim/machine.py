@@ -89,7 +89,14 @@ class RunResult:
 
 
 class Machine:
-    """A configured multicore NVMM machine."""
+    """A configured multicore NVMM machine.
+
+    Observability (:mod:`repro.obs`) taps a machine by shadowing a
+    fixed set of component methods with per-instance wrappers (parked
+    under ``_probe_session``); an untapped machine runs the unmodified
+    class methods — no hot-path branches.  Replay machines inline
+    their op handlers and cannot be tapped.
+    """
 
     def __init__(
         self,

@@ -70,7 +70,11 @@ class MemoryController:
     # -- reads --------------------------------------------------------------
 
     def read(self, line_addr: int, now: float) -> float:
-        """Issue a line read at ``now``; returns the data-return time."""
+        """Issue a line read at ``now``; returns the data-return time.
+
+        Probe tap point (``NvmmRead``): must stay the single path for
+        NVMM line reads so traced read counts match ``nvmm_reads``.
+        """
         completion = self.timing.read(now)
         self.stats.nvmm_reads += 1
         return completion
@@ -105,7 +109,13 @@ class MemoryController:
         dirty_since: Optional[float] = None,
         core_id: Optional[int] = None,
     ) -> Tuple[float, float]:
-        """Accept a write; returns ``(accept_time, durable_time)``."""
+        """Accept a write; returns ``(accept_time, durable_time)``.
+
+        Probe tap point (``WritebackAccepted``): every write entering
+        the persistence domain — eviction, flush, cleaner, drain —
+        must come through this method, one call per counted write, so
+        traced writeback counts reconcile exactly with ``nvmm_writes``.
+        """
         accept_time, completion = self.timing.write(now)
 
         if not self.config.adr:

@@ -152,9 +152,18 @@ class MachineStats:
         return dict(self.ledger.stall_cycles)
 
     def summary(self) -> Dict[str, float]:
-        """Flat dict of the headline metrics, for reporting."""
+        """Flat dict of the headline metrics, for reporting.
+
+        Besides the long-standing headline keys (stable — external
+        tooling reads them), the dict carries the cause breakdowns
+        under namespaced keys: ``writes_by_cause/<cause>`` for the
+        NVMM-write split and ``stall_cycles/<cause>`` /
+        ``stall_events/<cause>`` for the ledger's attribution.  Earlier
+        versions dropped these breakdowns here entirely, so a summary
+        consumer could not tell cleaner writes from flush writes.
+        """
         hz = self.hazard_totals()
-        return {
+        out = {
             "exec_cycles": self.exec_cycles,
             "nvmm_writes": float(self.nvmm_writes),
             "nvmm_reads": float(self.nvmm_reads),
@@ -166,3 +175,10 @@ class MachineStats:
             "fuw": float(hz["fuw"]),
             "total_ops": float(self.total_ops),
         }
+        for cause in sorted(self.writes_by_cause):
+            out[f"writes_by_cause/{cause}"] = float(self.writes_by_cause[cause])
+        for cause in sorted(self.ledger.stall_cycles):
+            out[f"stall_cycles/{cause}"] = self.ledger.stall_cycles[cause]
+        for cause in sorted(self.ledger.stall_events):
+            out[f"stall_events/{cause}"] = float(self.ledger.stall_events[cause])
+        return out

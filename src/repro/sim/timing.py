@@ -88,7 +88,12 @@ class CoreTiming(ABC):
         self._last_drain_complete = 0.0
 
     def on_event(self, event: MemoryEvent) -> None:
-        """Consume one memory event (type-dispatched)."""
+        """Consume one memory event (type-dispatched).
+
+        Probe tap point: ``repro.obs`` shadows this per instance to
+        publish a ``MemEvent`` per call — route every memory event
+        through here (as the op handlers already do).
+        """
         name = _EVENT_HANDLERS.get(type(event))
         if name is None:
             raise SimulationError(f"unknown memory event {event!r}")

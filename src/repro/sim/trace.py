@@ -1,23 +1,72 @@
 """Lightweight op tracing for debugging and white-box tests.
 
-Wrap a thread generator with :func:`traced` to record every op it
-yields (and the machine's reply) into a :class:`Trace`.  Tracing is
-opt-in and adds no cost to untraced runs.
+There is one tracing path: the probe bus (:mod:`repro.obs`).  A
+:class:`Trace` is a minimal observer of its ``op`` channel — it
+defines ``on_op`` and the bus's duck-typed subscription picks it up
+without this module importing ``repro.obs``::
+
+    trace = Trace()
+    with probed(machine, [trace]):
+        machine.run(threads)
+    trace.count(Store)      # ops now carry commit cycles + core ids
+
+For generator-level unit tests that have no machine (or that want one
+thread's ops in isolation), :func:`traced` remains as a thin adapter
+that feeds the same ``Trace`` while ops pass through; entries recorded
+that way have no cycle/core attribution (``None``).  Tracing is opt-in
+and adds no cost to untraced runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Tuple, Type
+from typing import Generator, List, Optional, Protocol, Tuple, Type
 
 from repro.sim.isa import Op
 
 
+class _OpEvent(Protocol):
+    """Structural view of :class:`repro.obs.events.OpExecuted` (kept
+    local so ``repro.sim`` does not depend on ``repro.obs``)."""
+
+    core_id: int
+    op: Op
+    result: Optional[float]
+    end: float
+
+
 @dataclass
 class Trace:
-    """Recorded (op, result) pairs for one thread."""
+    """Recorded (op, result) pairs, with per-op commit cycle and core.
+
+    ``events[i]``, ``cycles[i]`` and ``cores[i]`` describe the same
+    op; the latter two are ``None`` for entries recorded through the
+    :func:`traced` generator adapter rather than the probe bus.
+    """
 
     events: List[Tuple[Op, Optional[float]]] = field(default_factory=list)
+    #: Commit cycle of each op (``None`` when recorded off-machine).
+    cycles: List[Optional[float]] = field(default_factory=list)
+    #: Core that executed each op (``None`` when recorded off-machine).
+    cores: List[Optional[int]] = field(default_factory=list)
+
+    def on_op(self, ev: _OpEvent) -> None:
+        """Probe-bus ``op`` channel: record a retired op."""
+        self.events.append((ev.op, ev.result))
+        self.cycles.append(ev.end)
+        self.cores.append(ev.core_id)
+
+    def record(
+        self,
+        op: Op,
+        result: Optional[float],
+        cycle: Optional[float] = None,
+        core: Optional[int] = None,
+    ) -> None:
+        """Append one entry, keeping the parallel lists in step."""
+        self.events.append((op, result))
+        self.cycles.append(cycle)
+        self.cores.append(core)
 
     def ops(self) -> List[Op]:
         """The recorded ops, without results."""
@@ -34,7 +83,11 @@ class Trace:
 def traced(
     gen: Generator[Op, Optional[float], None], trace: Trace
 ) -> Generator[Op, Optional[float], None]:
-    """Pass ops through while recording them into ``trace``."""
+    """Pass ops through while recording them into ``trace``.
+
+    A thin adapter over the same :class:`Trace` the probe bus fills;
+    use it when there is no machine to tap (pure generator tests).
+    """
     result: Optional[float] = None
     while True:
         try:
@@ -42,4 +95,4 @@ def traced(
         except StopIteration:
             return
         result = yield op
-        trace.events.append((op, result))
+        trace.record(op, result)

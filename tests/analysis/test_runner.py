@@ -74,6 +74,73 @@ class TestCacheKey:
         int(code_version(), 16)
 
 
+class TestObsCacheIsolation:
+    """Observability must never poison (or be served from) plain keys."""
+
+    def test_obs_interval_changes_the_key(self):
+        plain = Job(tmm(), config(), "lp", num_threads=2)
+        sampled = Job(
+            tmm(), config(), "lp", num_threads=2, obs_interval=500.0
+        )
+        other = Job(
+            tmm(), config(), "lp", num_threads=2, obs_interval=1000.0
+        )
+        assert len(
+            {plain.cache_key(), sampled.cache_key(), other.cache_key()}
+        ) == 3
+
+    def test_unsampled_key_matches_pre_observability_layout(self):
+        # The pre-observability key layout must survive byte-for-byte,
+        # or this PR would orphan every existing cache entry.
+        import hashlib
+
+        from repro.analysis.runner import CACHE_FORMAT_VERSION
+
+        job = Job(tmm(), config(), "lp", num_threads=2)
+        payload = json.dumps(
+            {
+                "workload": workload_spec(job.workload),
+                "config": job.config.cache_key(),
+                "variant": "lp",
+                "num_threads": 2,
+                "engine": "modular",
+                "cleaner_period": None,
+                "verify": True,
+                "drain": False,
+                "code": code_version(),
+                "format": CACHE_FORMAT_VERSION,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        expected = hashlib.sha256(payload.encode()).hexdigest()
+        assert job.cache_key() == expected
+
+    def test_sampled_results_round_trip_through_the_cache(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        job = Job(tmm(), config(), "lp", num_threads=2, obs_interval=500.0)
+        (first,) = run_jobs([job], cache=cache)
+        assert first.intervals is not None
+        assert first.intervals["num_buckets"] > 0
+        (second,) = run_jobs([job], cache=cache)
+        assert cache.stats.hits == 1
+        assert second.intervals == first.intervals
+
+    def test_plain_and_sampled_results_agree_on_metrics(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        (plain,) = run_jobs(
+            [Job(tmm(), config(), "lp", num_threads=2)], cache=cache
+        )
+        (sampled,) = run_jobs(
+            [Job(tmm(), config(), "lp", num_threads=2, obs_interval=500.0)],
+            cache=cache,
+        )
+        assert plain.intervals is None
+        assert plain.exec_cycles == sampled.exec_cycles
+        assert plain.nvmm_writes == sampled.nvmm_writes
+        assert plain.hazards == sampled.hazards
+
+
 class TestSerialEngine:
     def test_matches_run_variant_exactly(self):
         direct = run_variant(tmm(), config(), "lp", num_threads=2)

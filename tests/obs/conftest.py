@@ -1,0 +1,52 @@
+"""Shared fixtures for observability tests: one tiny traced run."""
+
+import pytest
+
+from repro.obs import IntervalSampler, TraceRecorder, probed
+from repro.sim.cleaner import PeriodicCleaner
+from repro.sim.config import tiny_machine
+from repro.sim.machine import Machine
+from repro.workloads import get_workload
+
+TINY_PARAMS = {"n": 8, "bsize": 4, "kk_tiles": 1}
+INTERVAL = 500.0
+
+
+def run_probed(
+    variant="lp",
+    *,
+    timing="detailed",
+    cleaner_period=None,
+    num_threads=2,
+    workload="tmm",
+    params=None,
+):
+    """One tiny run with a recorder + sampler attached.
+
+    Returns ``(recorder, sampler, run_result, machine)``.
+    """
+    wl = get_workload(workload)(**(params or TINY_PARAMS))
+    config = tiny_machine()
+    if timing != config.timing:
+        config = config.with_timing(timing)
+    machine = Machine(config)
+    if cleaner_period is not None:
+        machine.cleaner = PeriodicCleaner(cleaner_period)
+    bound = wl.bind(machine, num_threads=num_threads, engine="modular")
+    recorder = TraceRecorder()
+    sampler = IntervalSampler(INTERVAL)
+    with probed(machine, [recorder, sampler]):
+        result = machine.run(bound.threads(variant))
+    return recorder, sampler, result, machine
+
+
+@pytest.fixture(scope="module")
+def lp_run():
+    """A recorded tmm/lp run with a periodic cleaner (module-cached)."""
+    return run_probed("lp", cleaner_period=200.0)
+
+
+@pytest.fixture(scope="module")
+def ep_run():
+    """A recorded tmm/ep run (flush traffic, fence stalls)."""
+    return run_probed("ep", cleaner_period=200.0)

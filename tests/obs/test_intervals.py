@@ -1,0 +1,124 @@
+"""IntervalSampler bucketing, series shape, and CSV output."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import IntervalSampler
+from repro.obs.events import OpExecuted, StallCharged, WritebackAccepted
+from repro.sim.isa import Compute, Fence
+
+from tests.obs.conftest import INTERVAL
+
+
+def _op(core_id, end, op=None):
+    return OpExecuted(core_id, op or Compute(), None, end - 1.0, end)
+
+
+def _wb(accept_time, cause="flush", depth=2, volatility=10.0):
+    return WritebackAccepted(
+        line_addr=64,
+        cause=cause,
+        core_id=0,
+        issued=accept_time,
+        accept_time=accept_time,
+        durable_time=accept_time + 4.0,
+        queue_delay=0.0,
+        queue_depth=depth,
+        volatility=volatility,
+    )
+
+
+class TestBucketing:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigError):
+            IntervalSampler(0)
+        with pytest.raises(ConfigError):
+            IntervalSampler(-100)
+
+    def test_ops_land_in_end_cycle_bucket(self):
+        s = IntervalSampler(100.0)
+        s.on_op(_op(0, end=50.0))
+        s.on_op(_op(0, end=99.0))
+        s.on_op(_op(0, end=100.0))  # exactly on the boundary -> bucket 1
+        s.on_op(_op(0, end=250.0))
+        series = s.series()
+        assert series["num_buckets"] == 3
+        assert series["columns"]["ops.core0"] == [2.0, 1.0, 1.0]
+
+    def test_fences_counted_separately(self):
+        s = IntervalSampler(100.0)
+        s.on_op(_op(0, end=10.0))
+        s.on_op(_op(0, end=20.0, op=Fence()))
+        totals = s.totals()
+        assert totals["ops.core0"] == 2.0
+        assert totals["fences"] == 1.0
+
+    def test_stall_charged_whole_to_start_bucket(self):
+        # A stall spanning a boundary lands entirely in its start
+        # bucket so per-cause totals reconcile exactly with the ledger.
+        s = IntervalSampler(100.0)
+        s.on_stall(StallCharged(0, "fence_drain", 90.0, 50.0, 100))
+        series = s.series()
+        assert series["columns"]["stalls.fence_drain"] == [50.0]
+        assert s.totals()["lost_slots"] == 100.0
+
+    def test_queue_depth_is_a_peak_not_a_sum(self):
+        s = IntervalSampler(100.0)
+        s.on_writeback(_wb(10.0, depth=3))
+        s.on_writeback(_wb(20.0, depth=7))
+        s.on_writeback(_wb(30.0, depth=5))
+        assert s.series()["columns"]["mc_queue_depth.max"] == [7.0]
+
+    def test_empty_sampler_series(self):
+        s = IntervalSampler(100.0)
+        series = s.series()
+        assert series["num_buckets"] == 0
+        assert series["columns"] == {}
+        assert s.totals() == {}
+
+
+class TestDerivedColumns:
+    def test_ipc_is_ops_per_interval(self):
+        s = IntervalSampler(100.0)
+        for end in (10.0, 20.0, 30.0, 150.0):
+            s.on_op(_op(1, end=end))
+        cols = s.series()["columns"]
+        assert cols["ipc.core1"] == [0.03, 0.01]
+
+    def test_l2_miss_rate_guards_empty_buckets(self):
+        s = IntervalSampler(100.0)
+
+        class _Miss:
+            l1_hit = False
+
+        from repro.obs.events import MemEvent, NvmmRead
+
+        s.on_mem_event(MemEvent(0, 10.0, _Miss()))
+        s.on_mem_event(MemEvent(0, 15.0, _Miss()))
+        s.on_nvmm_read(NvmmRead(64, 10.0, 20.0))
+        s.on_nvmm_read(NvmmRead(128, 150.0, 160.0))  # read, no miss seen
+        cols = s.series()["columns"]
+        assert cols["l2_miss_rate"][0] == pytest.approx(0.5)
+        assert cols["l2_miss_rate"][1] == 0.0  # no l1_misses -> guarded
+
+
+class TestSeriesJsonAndCsv:
+    def test_series_is_json_safe(self):
+        import json
+
+        s = IntervalSampler(100.0)
+        s.on_op(_op(0, end=10.0))
+        s.on_writeback(_wb(20.0))
+        json.dumps(s.series())  # must not raise
+
+    def test_csv_shape(self):
+        s = IntervalSampler(INTERVAL)
+        s.on_op(_op(0, end=10.0))
+        s.on_op(_op(0, end=INTERVAL + 1))
+        text = s.csv()
+        lines = text.strip().split("\n")
+        header = lines[0].split(",")
+        assert header[:2] == ["bucket", "start_cycle"]
+        assert len(lines) == 1 + s.num_buckets
+        first = lines[1].split(",")
+        assert first[0] == "0" and float(first[1]) == 0.0

@@ -1,0 +1,118 @@
+"""Chrome-trace export: schema validity and stats reconciliation."""
+
+import json
+
+from repro.obs import TraceRecorder, to_chrome_trace, write_chrome_trace
+from repro.obs.perfetto import CORES_PID, MEMORY_PID
+
+VALID_PHASES = {"X", "i", "C", "M"}
+
+
+def _events(run):
+    recorder = run[0]
+    return to_chrome_trace(recorder)["traceEvents"]
+
+
+class TestSchema:
+    def test_every_event_has_required_fields(self, ep_run):
+        for ev in _events(ep_run):
+            assert {"ph", "ts", "pid", "tid"} <= set(ev)
+            assert ev["ph"] in VALID_PHASES
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+            assert ev["pid"] in (CORES_PID, MEMORY_PID)
+
+    def test_complete_slices_have_nonnegative_duration(self, ep_run):
+        for ev in _events(ep_run):
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+
+    def test_instants_have_scope(self, ep_run):
+        for ev in _events(ep_run):
+            if ev["ph"] == "i":
+                assert ev["s"] in ("g", "p", "t")
+
+    def test_track_metadata_names_every_core(self, ep_run):
+        recorder = ep_run[0]
+        events = _events(ep_run)
+        thread_names = {
+            (ev["pid"], ev["tid"]): ev["args"]["name"]
+            for ev in events
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        for core_id in recorder.core_ids():
+            assert thread_names[(CORES_PID, 2 * core_id)].endswith("ops")
+            assert thread_names[(CORES_PID, 2 * core_id + 1)].endswith(
+                "stalls"
+            )
+
+    def test_document_loads_as_json(self, ep_run, tmp_path):
+        out = tmp_path / "run.trace.json"
+        count = write_chrome_trace(ep_run[0], str(out))
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == count
+        assert "otherData" in doc
+
+    def test_metadata_lands_in_other_data(self, ep_run):
+        doc = to_chrome_trace(ep_run[0], metadata={"workload": "tmm"})
+        assert doc["otherData"]["workload"] == "tmm"
+
+
+class TestReconciliation:
+    def test_op_slices_match_recorder_per_core(self, ep_run):
+        recorder = ep_run[0]
+        events = _events(ep_run)
+        for core_id in recorder.core_ids():
+            op_slices = [
+                ev
+                for ev in events
+                if ev["ph"] == "X"
+                and ev["pid"] == CORES_PID
+                and ev["tid"] == 2 * core_id
+            ]
+            expected = sum(
+                n for n in recorder.op_counts(core_id).values()
+            )
+            assert len(op_slices) == expected
+
+    def test_stall_slices_match_stats_fence_cycles(self, ep_run):
+        recorder, _, result, _ = ep_run
+        events = _events(ep_run)
+        stall_cycles = sum(
+            ev["dur"]
+            for ev in events
+            if ev["ph"] == "X"
+            and ev["pid"] == CORES_PID
+            and ev.get("cat") == "stall"
+            and ev["name"] == "fence_drain"
+        )
+        expected = sum(c.fence_stall_cycles for c in result.stats.per_core)
+        assert stall_cycles == expected
+
+    def test_writeback_slices_match_nvmm_writes(self, ep_run):
+        _, _, result, _ = ep_run
+        events = _events(ep_run)
+        wb_slices = [
+            ev
+            for ev in events
+            if ev["ph"] == "X"
+            and ev["pid"] == MEMORY_PID
+            and ev.get("cat") == "writeback"
+        ]
+        assert len(wb_slices) == result.stats.nvmm_writes
+        by_cause = {}
+        for ev in wb_slices:
+            cause = ev["name"].split(":", 1)[1]
+            by_cause[cause] = by_cause.get(cause, 0) + 1
+        assert by_cause == dict(result.stats.writes_by_cause)
+
+    def test_read_slices_match_nvmm_reads(self, ep_run):
+        _, _, result, _ = ep_run
+        events = _events(ep_run)
+        reads = [
+            ev for ev in events if ev.get("cat") == "nvmm_read"
+        ]
+        assert len(reads) == result.stats.nvmm_reads
+
+    def test_empty_recorder_exports_only_metadata(self):
+        doc = to_chrome_trace(TraceRecorder())
+        assert all(ev["ph"] == "M" for ev in doc["traceEvents"])

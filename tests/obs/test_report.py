@@ -1,0 +1,122 @@
+"""RunReport manifests: building, round-tripping, rendering."""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import run_variant
+from repro.analysis.runner import code_version
+from repro.errors import ConfigError
+from repro.obs import RunReport, render_reports
+from repro.obs.report import REPORT_SCHEMA_VERSION, config_hash
+from repro.sim.config import tiny_machine
+from repro.workloads import get_workload
+
+from tests.obs.conftest import TINY_PARAMS
+
+
+@pytest.fixture(scope="module")
+def lp_report():
+    config = tiny_machine()
+    result = run_variant(
+        get_workload("tmm")(**TINY_PARAMS),
+        config,
+        "lp",
+        num_threads=2,
+    )
+    return RunReport.from_result(
+        result, config, wall_clock_s=1.25, workload_params=dict(TINY_PARAMS)
+    )
+
+
+class TestManifest:
+    def test_identity_fields(self, lp_report):
+        assert lp_report.workload == "tmm"
+        assert lp_report.variant == "lp"
+        assert lp_report.num_threads == 2
+        assert lp_report.timing == "detailed"
+        assert lp_report.seed == tiny_machine().schedule_seed
+        assert lp_report.code_version == code_version()
+        assert lp_report.config_hash == config_hash(tiny_machine())
+        assert lp_report.wall_clock_s == 1.25
+        assert lp_report.schema == REPORT_SCHEMA_VERSION
+
+    def test_metrics_cover_summary_and_breakdowns(self, lp_report):
+        assert "exec_cycles" in lp_report.metrics
+        assert "verified" in lp_report.metrics
+        assert "total_writes" in lp_report.metrics
+        assert all(
+            isinstance(v, float) for v in lp_report.metrics.values()
+        )
+
+    def test_config_hash_tracks_config(self):
+        a = config_hash(tiny_machine())
+        b = config_hash(tiny_machine().with_timing("functional"))
+        assert a != b
+
+
+class TestRoundTrip:
+    def test_save_load(self, lp_report, tmp_path):
+        path = tmp_path / "run.report.json"
+        lp_report.save(str(path))
+        assert RunReport.load(str(path)) == lp_report
+
+    def test_save_is_sorted_json(self, lp_report, tmp_path):
+        path = tmp_path / "run.report.json"
+        lp_report.save(str(path))
+        data = json.loads(path.read_text())
+        assert list(data) == sorted(data)
+
+    def test_load_rejects_wrong_schema(self, lp_report, tmp_path):
+        path = tmp_path / "bad.json"
+        data = lp_report.to_dict()
+        data["schema"] = REPORT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigError):
+            RunReport.load(str(path))
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json{")
+        with pytest.raises(ConfigError):
+            RunReport.load(str(path))
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigError):
+            RunReport.load(str(path))
+        path.write_text(json.dumps({"schema": REPORT_SCHEMA_VERSION}))
+        with pytest.raises(ConfigError):
+            RunReport.load(str(path))
+
+
+class TestRendering:
+    def test_single_report_table(self, lp_report):
+        text = render_reports([lp_report])
+        assert "exec_cycles" in text
+        assert "tmm/lp" in text
+        assert lp_report.config_hash in text
+
+    def test_comparison_normalizes_to_first(self, lp_report):
+        other = RunReport.from_dict(lp_report.to_dict())
+        other.variant = "ep"
+        other.metrics = dict(other.metrics)
+        other.metrics["exec_cycles"] = lp_report.metrics["exec_cycles"] * 2
+        text = render_reports([lp_report, other])
+        assert "(x1.000)" in text
+        assert "(x2.000)" in text
+
+    def test_markdown_format(self, lp_report):
+        text = render_reports([lp_report], fmt="md")
+        assert text.count("|") > 10
+        assert "| --- |" in text.replace("| --- | --- |", "| --- |")
+
+    def test_missing_metric_renders_dash(self, lp_report):
+        other = RunReport.from_dict(lp_report.to_dict())
+        other.metrics = {"exec_cycles": 1.0}
+        text = render_reports([lp_report, other])
+        assert "-" in text
+
+    def test_rejects_empty_and_unknown_format(self, lp_report):
+        with pytest.raises(ConfigError):
+            render_reports([])
+        with pytest.raises(ConfigError):
+            render_reports([lp_report], fmt="html")

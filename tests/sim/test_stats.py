@@ -88,3 +88,27 @@ class TestSummary:
             "fuw",
         ):
             assert key in summary
+
+    def test_summary_carries_writes_by_cause(self):
+        s = MachineStats().for_cores(1)
+        s.count_write("flush")
+        s.count_write("flush")
+        s.count_write("cleaner")
+        summary = s.summary()
+        assert summary["writes_by_cause/flush"] == 2.0
+        assert summary["writes_by_cause/cleaner"] == 1.0
+        assert summary["nvmm_writes"] == 3.0  # headline key unchanged
+
+    def test_summary_carries_ledger_breakdown(self):
+        s = MachineStats().for_cores(1)
+        s.ledger.stall(s.per_core[0], "fence_drain", 40.0, 4)
+        s.ledger.event(s.per_core[0], "mshr_full")
+        s.ledger.queue_delay("mc_write_queue", 12.5)
+        summary = s.summary()
+        assert summary["stall_cycles/fence_drain"] == 40.0
+        assert summary["stall_cycles/mc_write_queue"] == 12.5
+        assert summary["stall_events/mshr_full"] == 1.0
+
+    def test_summary_empty_run_has_no_breakdown_keys(self):
+        summary = MachineStats().for_cores(1).summary()
+        assert not any("/" in key for key in summary)

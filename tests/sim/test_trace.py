@@ -47,3 +47,43 @@ class TestTrace:
         r = m.alloc_init("a", [10.0, 0.0])
         m.run([traced(kernel(r), Trace())])
         assert m.arch_value(r.addr(1)) == 11.0
+
+    def test_generator_path_has_no_attribution(self):
+        m = tiny_machine()
+        r = m.alloc_init("a", [10.0, 0.0])
+        trace = Trace()
+        m.run([traced(kernel(r), trace)])
+        assert trace.cycles == [None] * len(trace)
+        assert trace.cores == [None] * len(trace)
+
+
+class TestTraceOnBus:
+    """Trace as a probe-bus observer: one tracing path, now with
+    cycle and core attribution."""
+
+    def _run_traced(self):
+        from repro.obs import probed
+
+        m = tiny_machine()
+        r = m.alloc_init("a", [10.0, 0.0])
+        trace = Trace()
+        with probed(m, [trace]):
+            m.run([kernel(r)])
+        return trace
+
+    def test_records_same_ops_as_generator_path(self):
+        trace = self._run_traced()
+        assert len(trace) == 3
+        assert trace.count(Load) == 1
+        assert trace.count(Store) == 1
+        assert trace.count(Compute) == 1
+        load_op, load_result = trace.events[0]
+        assert isinstance(load_op, Load)
+        assert load_result == 10.0
+
+    def test_bus_path_attributes_cycles_and_cores(self):
+        trace = self._run_traced()
+        assert len(trace.cycles) == len(trace) == len(trace.cores)
+        assert all(c is not None and c > 0 for c in trace.cycles)
+        assert trace.cycles == sorted(trace.cycles)  # one in-order core
+        assert set(trace.cores) == {0}

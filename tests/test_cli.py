@@ -39,6 +39,28 @@ class TestParser:
         assert args.no_cache is True
         assert args.cache_dir == "/tmp/c"
 
+    def test_obs_interval_defaults_off(self):
+        for argv in (
+            ["run", "tmm"],
+            ["compare", "tmm"],
+            ["sweep", "checksum", "tmm"],
+            ["reproduce"],
+        ):
+            assert build_parser().parse_args(argv).obs_interval is None
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "tmm"])
+        assert args.command == "trace"
+        assert args.variant == "lp"
+        assert args.out is None
+
+    def test_report_requires_a_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+        args = build_parser().parse_args(["report", "a.json", "b.json"])
+        assert args.reports == ["a.json", "b.json"]
+        assert args.md is False
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -122,6 +144,73 @@ class TestCommands:
             "granularity": "ii",
             "eager_checksum": True,
         }
+
+
+class TestObservability:
+    TINY = ["--machine", "tiny", "--threads", "2",
+            "-p", "n=8", "-p", "bsize=4", "-p", "kk_tiles=1"]
+
+    def test_run_obs_out_writes_series(self, capsys, tmp_path):
+        out = tmp_path / "series.json"
+        rc = main(["run", "tmm", *self.TINY,
+                   "--obs-interval", "500", "--obs-out", str(out)])
+        assert rc == 0
+        import json
+
+        series = json.loads(out.read_text())
+        assert series["interval"] == 500.0
+        assert series["num_buckets"] > 0
+        assert series["columns"]
+
+    def test_run_obs_out_csv(self, tmp_path):
+        out = tmp_path / "series.csv"
+        rc = main(["run", "tmm", *self.TINY,
+                   "--obs-interval", "500", "--obs-out", str(out)])
+        assert rc == 0
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("bucket,start_cycle,")
+
+    def test_obs_out_without_interval_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "tmm", *self.TINY,
+                  "--obs-out", str(tmp_path / "x.json")])
+
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        out = tmp_path / "lp.trace.json"
+        rc = main(["trace", "tmm", *self.TINY, "--out", str(out)])
+        assert rc == 0
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+        import json
+
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert len(events) > 0
+        for ev in events:
+            assert {"ph", "pid", "tid"} <= set(ev)
+            if ev["ph"] != "M":
+                assert "ts" in ev
+
+    def test_report_compares_saved_runs(self, capsys, tmp_path):
+        paths = []
+        for variant in ("lp", "ep"):
+            path = tmp_path / f"{variant}.report.json"
+            assert main(["run", "tmm", *self.TINY, "--variant", variant,
+                         "--report-out", str(path)]) == 0
+            paths.append(str(path))
+        capsys.readouterr()
+        assert main(["report", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "tmm/lp" in out and "tmm/ep" in out
+        assert "exec_cycles" in out
+        assert "(x1.000)" in out
+
+    def test_report_markdown(self, capsys, tmp_path):
+        path = tmp_path / "lp.report.json"
+        assert main(["run", "tmm", *self.TINY,
+                     "--report-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path), "--md"]) == 0
+        assert "| --- |" in capsys.readouterr().out
 
 
 class TestCrashcheck:
