@@ -18,10 +18,16 @@ Wall-clock noise is tamed the usual way: each timed sample is a batch
 of ``BATCH`` back-to-back runs on fresh machines (so a sample is long
 enough that scheduler jitter is a sub-percent effect even at smoke
 sizes), the plain and disabled legs are sampled **interleaved** (so
-slow machine-wide drift hits both equally), and the **minimum** sample
-per leg is compared (the min is the sample least disturbed by the OS).
-The result cache is irrelevant here — every leg calls ``machine.run``
-directly.
+slow machine-wide drift hits both equally), and the **median** of
+``REPEATS`` samples per leg is compared — a single descheduled sample
+cannot move a median, where it could (and occasionally did, on busy
+CI runners) decide a min-vs-min comparison.  The asserted bound
+additionally carries an absolute noise floor
+(``NOISE_FLOOR_SECONDS``): at full size 2% of the baseline dominates
+and the bound is the PR's relative ceiling; at smoke sizes, where 2%
+of a sub-second leg is below OS scheduling granularity, the floor
+absorbs the jitter a shared runner adds.  The result cache is
+irrelevant here — every leg calls ``machine.run`` directly.
 
 Besides the usual ``benchmarks/results/`` record, the headline numbers
 are written to ``BENCH_obs.json`` at the repo root so the perf
@@ -31,6 +37,7 @@ runs only; smoke runs assert but do not persist).
 
 import json
 import os
+import statistics
 import time
 
 from repro.analysis.reporting import format_table
@@ -55,8 +62,14 @@ SAMPLER_INTERVAL = 1000.0
 #: for a 2% bound, so a smoke sample batches several.
 BATCH = 6 if SMOKE else 1
 
-#: Best-of-N minimum sample wall-clock per leg.
-REPEATS = 3 if SMOKE else 5
+#: Samples per leg; the median is compared (robust to one bad sample).
+REPEATS = 5
+
+#: Absolute slack on the asserted bound.  40ms is about one scheduler
+#: quantum of interference landing on a single sample's worth of runs:
+#: negligible against a full-size leg (where the 2% relative ceiling
+#: is the binding constraint) but decisive at smoke sizes.
+NOISE_FLOOR_SECONDS = 0.040
 
 ROOT_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
 
@@ -93,20 +106,23 @@ def _sample(attach=None):
     return sum(_one_run(attach) for _ in range(BATCH))
 
 
-def _best_of(attach=None):
-    return min(_sample(attach) for _ in range(REPEATS))
+def _median_of(attach=None):
+    return statistics.median(_sample(attach) for _ in range(REPEATS))
 
 
 def run_bench():
     # Plain and disabled are the legs compared against the asserted
     # ceiling; sample them interleaved so machine-wide drift (thermal,
-    # background load) lands on both sides of the ratio.
+    # background load) lands on both sides of the ratio.  One discarded
+    # warm-up sample first: allocator/bytecode-cache warm-up otherwise
+    # lands entirely on whichever leg runs first.
+    _sample()
     base_samples, disabled_samples = [], []
     for _ in range(REPEATS):
         base_samples.append(_sample())
         disabled_samples.append(_sample(lambda: []))
-    baseline = min(base_samples)
-    disabled = min(disabled_samples)
+    baseline = statistics.median(base_samples)
+    disabled = statistics.median(disabled_samples)
 
     # Traced leg: keep the recorder around to count events.
     recorder = TraceRecorder()
@@ -118,7 +134,7 @@ def run_bench():
         sampler = IntervalSampler(SAMPLER_INTERVAL)
         return [recorder, sampler]
 
-    traced = _best_of(traced_once)
+    traced = _median_of(traced_once)
     return baseline, disabled, traced, len(recorder)
 
 
@@ -132,7 +148,7 @@ def test_obs_overhead(benchmark):
     events_per_sec = events / traced if traced > 0 else 0.0
 
     table = format_table(
-        ["leg", "seconds (min of %d x %d runs)" % (REPEATS, BATCH),
+        ["leg", "seconds (median of %d x %d runs)" % (REPEATS, BATCH),
          "overhead"],
         [
             ["plain run", f"{baseline:.3f}", ""],
@@ -152,6 +168,7 @@ def test_obs_overhead(benchmark):
         "events": events,
         "events_per_sec": round(events_per_sec),
         "ceiling_pct": OVERHEAD_CEILING * 100,
+        "noise_floor_seconds": NOISE_FLOOR_SECONDS,
     }
     record("obs_overhead", table + f"\n\nprobe events/sec: "
            f"{events_per_sec:,.0f} ({events} events)", data)
@@ -160,9 +177,13 @@ def test_obs_overhead(benchmark):
             json.dump(data, fh, indent=2, sort_keys=True)
             fh.write("\n")
 
-    assert disabled_overhead <= OVERHEAD_CEILING, (
-        f"disabled-probe overhead {disabled_overhead * 100:.2f}% exceeds "
-        f"the {OVERHEAD_CEILING * 100:.0f}% ceiling"
+    allowance = max(OVERHEAD_CEILING * baseline, NOISE_FLOOR_SECONDS)
+    assert disabled - baseline <= allowance, (
+        f"disabled-probe overhead {disabled - baseline:.3f}s "
+        f"({disabled_overhead * 100:+.2f}%) exceeds the allowance of "
+        f"{allowance:.3f}s (max of {OVERHEAD_CEILING * 100:.0f}% of the "
+        f"{baseline:.3f}s plain leg and the {NOISE_FLOOR_SECONDS * 1000:.0f}ms "
+        f"noise floor)"
     )
 
 

@@ -120,6 +120,7 @@ def run_variant(
     drain: bool = False,
     obs_interval: Optional[float] = None,
     observers: Optional[Sequence[object]] = None,
+    provenance: bool = False,
 ) -> ExperimentResult:
     """Run one variant start-to-finish and collect its metrics.
 
@@ -129,7 +130,11 @@ def run_variant(
     Either one attaches the probe bus around the measured window only
     — the drain pass stays untraced so writeback event counts match
     the in-window ``nvmm_writes``.  Plain runs (both ``None``) never
-    touch ``repro.obs``.
+    touch ``repro.obs``.  ``provenance`` opts the bound workload into
+    emitting free :class:`~repro.sim.isa.Phase` frame ops, which stall
+    profilers (:class:`repro.obs.profile.StallFlame`) fold into
+    per-phase attribution; untagged runs are byte-identical to
+    pre-provenance ones.
     """
     workload.check_variant(variant)
     if num_threads > config.num_cores:
@@ -141,6 +146,8 @@ def run_variant(
     if cleaner_period is not None:
         machine.cleaner = PeriodicCleaner(cleaner_period)
     bound = workload.bind(machine, num_threads=num_threads, engine=engine)
+    if provenance:
+        bound.provenance = True
 
     sampler = None
     if obs_interval is not None or observers:

@@ -110,6 +110,41 @@ def workload_spec(workload: Workload) -> Dict[str, object]:
     return spec
 
 
+def workload_from_spec(spec: Dict[str, object]) -> Workload:
+    """Rebuild a workload instance from a :func:`workload_spec` dict.
+
+    The spec records every instance attribute, including derived ones
+    (e.g. a tile count computed from ``n`` and ``bsize``), so only the
+    keys naming actual constructor parameters are passed back; the
+    constructor re-derives the rest.  This is how the regression
+    sentinel re-runs exactly the workload a committed baseline
+    measured (:mod:`repro.obs.baseline`).
+    """
+    import inspect
+
+    from repro.workloads import get_workload
+
+    name = spec.get("__name__")
+    if not isinstance(name, str):
+        raise ConfigError(f"workload spec lacks a __name__: {spec!r}")
+    cls = get_workload(name)
+    accepted = set(inspect.signature(cls.__init__).parameters) - {"self"}
+    kwargs = {
+        key: value
+        for key, value in spec.items()
+        if not key.startswith("__") and key in accepted
+    }
+    workload = cls(**kwargs)
+    rebuilt = workload_spec(workload)
+    if rebuilt != spec:
+        raise ConfigError(
+            f"workload spec round-trip mismatch for {name!r}: "
+            f"stored {spec!r}, rebuilt {rebuilt!r} — the workload's "
+            "parameters have changed incompatibly"
+        )
+    return workload
+
+
 @dataclass(frozen=True)
 class Job:
     """Spawn-safe descriptor of one ``run_variant`` point.
@@ -131,6 +166,10 @@ class Job:
     #: Part of the cache key when set, so sampled results live under
     #: distinct keys and can never be served to (or poison) plain runs.
     obs_interval: Optional[float] = None
+    #: Provenance tagging (free Phase frame ops for stall attribution).
+    #: Same keying discipline as ``obs_interval``: in the key only when
+    #: on, so untagged jobs keep their pre-provenance keys.
+    provenance: bool = False
 
     def cache_key(self) -> str:
         """Content-addressed identity of this job's result."""
@@ -150,6 +189,8 @@ class Job:
         # (and any plain run's key) is byte-identical to before.
         if self.obs_interval is not None:
             payload["obs_interval"] = self.obs_interval
+        if self.provenance:
+            payload["provenance"] = True
         return hashlib.sha256(
             json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
         ).hexdigest()
@@ -180,6 +221,7 @@ class Job:
             verify=self.verify,
             drain=self.drain,
             obs_interval=self.obs_interval,
+            provenance=self.provenance,
         )
 
 

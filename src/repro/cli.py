@@ -16,6 +16,7 @@ system).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Dict, List, Optional
@@ -53,6 +54,37 @@ _CRASHCHECK_PARAMS: Dict[str, Dict[str, object]] = {
     "cholesky": {"n": 8, "col_block": 4},
     "conv2d": {"n": 8, "row_block": 2},
 }
+
+
+#: Tiny problem sizes the smoke mode applies (same crashcheck-friendly
+#: sizes as above; CI's smoke jobs stay fast without per-job -p lists).
+_SMOKE_PARAMS = _CRASHCHECK_PARAMS
+
+
+def _smoke() -> bool:
+    """Whether ``REPRO_SMOKE=1`` (the benchmarks' smoke convention)."""
+    return os.environ.get("REPRO_SMOKE") == "1"
+
+
+def _smoke_adjust(args) -> None:
+    """Resolve the machine preset, honouring ``REPRO_SMOKE``.
+
+    Observability commands (trace/heatmap/flame) leave their
+    ``--machine`` default unset so smoke runs drop to the tiny preset
+    and tiny problem sizes; an explicit ``--machine`` or ``-p`` always
+    wins (user params come last, and ``_parse_params`` is last-wins).
+    """
+    if not _smoke():
+        if args.machine is None:
+            args.machine = "scaled"
+        return
+    if args.machine is None:
+        args.machine = "tiny"
+    smoke = [
+        f"{key}={value}"
+        for key, value in _SMOKE_PARAMS.get(args.workload, {}).items()
+    ]
+    args.param = smoke + (args.param or [])
 
 
 def _parse_params(pairs: Optional[List[str]]) -> Dict[str, object]:
@@ -179,6 +211,7 @@ def _cmd_trace(args) -> int:
     from repro.obs import RunReport, TraceRecorder, write_chrome_trace
     from repro.obs.report import config_hash
 
+    _smoke_adjust(args)
     config = _machine(args)
     recorder = TraceRecorder()
     result = run_variant(
@@ -218,6 +251,136 @@ def _cmd_trace(args) -> int:
         report.save(args.report_out)
         print(f"[run report saved to {args.report_out}]")
     return 0
+
+
+def _cmd_heatmap(args) -> int:
+    """Per-line / per-region NVMM write heatmap (repro.obs.profile)."""
+    from repro.obs import WriteHeatmap, render_heatmap
+
+    _smoke_adjust(args)
+    config = _machine(args)
+    run_kwargs = dict(
+        num_threads=args.threads,
+        engine=args.engine,
+        cleaner_period=args.cleaner_period,
+    )
+    heatmap = WriteHeatmap()
+    run_variant(
+        _workload(args), config, args.variant,
+        observers=[heatmap], **run_kwargs,
+    )
+    base = None
+    if args.base_variant and args.base_variant != "none":
+        base = WriteHeatmap()
+        run_variant(
+            _workload(args), config, args.base_variant,
+            observers=[base], **run_kwargs,
+        )
+    print(
+        render_heatmap(
+            heatmap, base=base, top=args.top,
+            title=f"{args.workload}/{args.variant}: write heatmap",
+        )
+    )
+    if args.out:
+        if args.out.endswith(".csv"):
+            with open(args.out, "w") as fh:
+                fh.write(heatmap.csv())
+        else:
+            import json
+
+            with open(args.out, "w") as fh:
+                json.dump(heatmap.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        print(f"\n[heatmap saved to {args.out}]")
+    return 0
+
+
+def _cmd_flame(args) -> int:
+    """Stall flamegraph: provenance x cause in collapsed-stack format."""
+    from repro.obs import StallFlame, render_flame
+
+    _smoke_adjust(args)
+    config = _machine(args)
+    flame = StallFlame(root=f"{args.workload}/{args.variant}")
+    run_variant(
+        _workload(args), config, args.variant,
+        num_threads=args.threads,
+        engine=args.engine,
+        cleaner_period=args.cleaner_period,
+        observers=[flame],
+        provenance=True,
+    )
+    print(render_flame(flame, top=args.top))
+    if flame.total_stall_cycles == 0 and config.timing == "functional":
+        print(
+            "\n(the functional timing model never stalls; rerun with "
+            "--timing detailed for a populated flamegraph)"
+        )
+    out = args.out or f"{args.workload}-{args.variant}.collapsed"
+    with open(out, "w") as fh:
+        fh.write(flame.collapsed())
+    print(
+        f"\n[collapsed stacks saved to {out} — drag into "
+        "speedscope.app or feed to flamegraph.pl/inferno]"
+    )
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    """Regression sentinel: fresh runs vs committed perf baselines."""
+    from repro.obs.baseline import (
+        DEFAULT_SUITE,
+        BaselineStore,
+        RegressionReport,
+        compare_case,
+        measure_case,
+    )
+
+    store = BaselineStore(args.baselines)
+    cache = _cache(args)
+    wanted = set(args.cases.split(",")) if args.cases else None
+
+    if args.update_baselines:
+        cases = [
+            c for c in DEFAULT_SUITE
+            if wanted is None or c.case_id in wanted
+        ]
+        if not cases:
+            raise SystemExit(f"no baseline cases match {args.cases!r}")
+        for case in cases:
+            baseline = measure_case(case, n_jobs=args.jobs, cache=cache)
+            path = store.save(baseline)
+            print(f"[baseline written: {path}]")
+        return 0
+
+    case_ids = [
+        cid for cid in store.case_ids()
+        if wanted is None or cid in wanted
+    ]
+    if not case_ids:
+        raise SystemExit(
+            f"no baselines under {store.root!r}"
+            + (f" matching {args.cases!r}" if wanted else "")
+            + "; measure them first with --update-baselines"
+        )
+    report = RegressionReport()
+    for case_id in case_ids:
+        report.verdicts.extend(
+            compare_case(
+                store.load(case_id),
+                n_jobs=args.jobs,
+                cache=cache,
+                mistime=args.mistime,
+            )
+        )
+    print(report.render())
+    if cache is not None and cache.stats.lookups:
+        print(
+            f"\n[cache: {cache.stats.hits}/{cache.stats.lookups} hits "
+            f"({cache.root})]"
+        )
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args) -> int:
@@ -531,10 +694,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads, engines, presets")
 
-    def common(p):
+    def common(p, machine_default="scaled"):
+        # machine_default=None marks smoke-aware commands: REPRO_SMOKE=1
+        # then selects the tiny preset (see _smoke_adjust).
         p.add_argument("workload", choices=available_workloads())
         p.add_argument("--threads", type=int, default=2)
-        p.add_argument("--machine", choices=sorted(_PRESETS), default="scaled")
+        p.add_argument(
+            "--machine", choices=sorted(_PRESETS), default=machine_default
+        )
         p.add_argument("--engine", default="modular")
         timing_flag(p)
         p.add_argument(
@@ -592,7 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = sub.add_parser(
         "trace", help="record a run and export a Perfetto/Chrome trace"
     )
-    common(p_trace)
+    common(p_trace, machine_default=None)
     p_trace.add_argument("--variant", default="lp")
     p_trace.add_argument("--cleaner-period", type=float, default=None)
     p_trace.add_argument(
@@ -603,6 +770,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-out", default=None, metavar="FILE",
         help="also write a RunReport manifest (JSON)",
     )
+
+    p_heatmap = sub.add_parser(
+        "heatmap",
+        help="per-line/per-region NVMM write heatmap (wear + coalescing)",
+    )
+    common(p_heatmap, machine_default=None)
+    p_heatmap.add_argument("--variant", default="lp")
+    p_heatmap.add_argument(
+        "--base-variant", default="base", metavar="VARIANT",
+        help="non-persistent reference for per-region write "
+        "amplification (default: base; 'none' disables the second run)",
+    )
+    p_heatmap.add_argument("--cleaner-period", type=float, default=None)
+    p_heatmap.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="hot lines to list (default 10)",
+    )
+    p_heatmap.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="export the full heatmap (.csv for per-line CSV, else JSON)",
+    )
+
+    p_flame = sub.add_parser(
+        "flame",
+        help="stall flamegraph: provenance x cause, collapsed-stack "
+        "output for speedscope/inferno",
+    )
+    common(p_flame, machine_default=None)
+    p_flame.add_argument("--variant", default="lp")
+    p_flame.add_argument("--cleaner-period", type=float, default=None)
+    p_flame.add_argument(
+        "--top", type=int, default=15, metavar="K",
+        help="stacks to list in the text table (default 15)",
+    )
+    p_flame.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="collapsed-stack output path "
+        "(default: <workload>-<variant>.collapsed)",
+    )
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="compare fresh runs against committed perf baselines; "
+        "exits 1 on out-of-band slowdowns or write growth",
+    )
+    p_regress.add_argument(
+        "--baselines", default="benchmarks/baselines", metavar="DIR",
+        help="baseline store directory (default: benchmarks/baselines)",
+    )
+    p_regress.add_argument(
+        "--update-baselines", action="store_true",
+        help="re-measure and rewrite the baselines instead of gating "
+        "(the ratchet: commit the diff)",
+    )
+    p_regress.add_argument(
+        "--cases", default=None, metavar="ID,ID,...",
+        help="restrict to these case ids (default: every baseline "
+        "on disk, or the full suite with --update-baselines)",
+    )
+    p_regress.add_argument(
+        "--mistime", type=float, default=None, metavar="FACTOR",
+        help="scale core issue latencies on the fresh side (injected-"
+        "slowdown proof that the gate trips; CI uses 1.2)",
+    )
+    engine_flags(p_regress)
 
     p_report = sub.add_parser(
         "report", help="render RunReport manifests as a comparison table"
@@ -721,6 +953,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "trace": _cmd_trace,
+        "heatmap": _cmd_heatmap,
+        "flame": _cmd_flame,
+        "regress": _cmd_regress,
         "report": _cmd_report,
         "compare": _cmd_compare,
         "crash": _cmd_crash,

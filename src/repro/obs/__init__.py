@@ -24,11 +24,26 @@ visibility without touching the simulator's hot path:
 * :mod:`repro.obs.report` — :class:`RunReport`: a run manifest
   (config hash, code version, seed, timing model, wall clock) plus
   headline metrics, consumed by ``repro report``.
+* :mod:`repro.obs.profile` — attribution profiling:
+  :class:`WriteHeatmap` (per-line/per-region NVMM write counts, wear
+  and coalescing, ``repro heatmap``) and :class:`StallFlame`
+  (provenance x cause stall rollups in collapsed-stack format,
+  ``repro flame``).
+* :mod:`repro.obs.baseline` — the regression sentinel: committed
+  baselines with noise bands under ``benchmarks/baselines/``, gated
+  by ``repro regress`` in CI.
 
 See ``docs/observability.md`` for the probe-bus contract and the trace
 schema.
 """
 
+from repro.obs.baseline import (
+    Baseline,
+    BaselineStore,
+    RegressionReport,
+    compare_case,
+    measure_case,
+)
 from repro.obs.bus import ProbeBus, ProbeObserver
 from repro.obs.events import (
     CleanerPass,
@@ -42,6 +57,12 @@ from repro.obs.events import (
 )
 from repro.obs.intervals import IntervalSampler
 from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
+from repro.obs.profile import (
+    StallFlame,
+    WriteHeatmap,
+    render_flame,
+    render_heatmap,
+)
 from repro.obs.recorder import TraceRecorder
 from repro.obs.report import RunReport, render_reports
 from repro.obs.taps import attach_probes, detach_probes, probed
@@ -63,6 +84,15 @@ __all__ = [
     "write_chrome_trace",
     "RunReport",
     "render_reports",
+    "WriteHeatmap",
+    "StallFlame",
+    "render_heatmap",
+    "render_flame",
+    "Baseline",
+    "BaselineStore",
+    "RegressionReport",
+    "measure_case",
+    "compare_case",
     "attach_probes",
     "detach_probes",
     "probed",

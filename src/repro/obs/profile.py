@@ -1,0 +1,444 @@
+"""Attribution profiling: write heatmaps and stall flamegraphs.
+
+The aggregate counters answer *how much* a variant wrote and stalled;
+this module answers *where* and *why*.  Two probe-bus observers:
+
+* :class:`WriteHeatmap` folds every ``WritebackAccepted`` event into
+  per-cache-line write counts, maps lines back onto the workload's
+  named data structures through the machine's allocator (captured at
+  attach time), and derives coalescing efficiency (stores per NVMM
+  write), wear distribution (max/mean line writes, top-k hot lines)
+  and per-region totals.  Heatmap totals reconcile *exactly* with
+  ``MachineStats.writes_per_line`` / ``writes_by_cause`` — both sides
+  count the same ``MC.accept_write_timed`` calls.
+
+* :class:`StallFlame` rolls the ledger's stall charges up by
+  ``provenance x cause``.  Workloads opted into provenance tagging
+  (``bound.provenance = True``) emit free :class:`~repro.sim.isa.Phase`
+  frame ops; the observer maintains one frame stack per core and
+  charges each ``StallCharged`` (and each positive MC write-queue
+  delay) to the innermost open frame.  ``collapsed()`` emits the
+  folded-stack text format that speedscope and inferno's
+  ``flamegraph.pl`` load directly.  Per-cause totals are accumulated
+  chronologically alongside the stacks, in the same order and from the
+  same values as the :class:`~repro.sim.ledger.LatencyLedger`, so they
+  reconcile bit-exactly with ``stall_cycles/<cause>``.
+
+Both observers are passive (they never mutate the run) and cost
+nothing unless attached; renderers live at the bottom of the module.
+"""
+
+from __future__ import annotations
+
+import bisect
+import io
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.obs.bus import ProbeObserver
+from repro.obs.events import OpExecuted, StallCharged, WritebackAccepted
+from repro.sim.address import LINE_BYTES, Region, line_of
+from repro.sim.isa import Flush, FlushWB, Phase, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.machine import Machine
+
+#: Region label for writebacks outside any allocator region (should
+#: not happen for workload traffic; kept as an explicit bucket so a
+#: mapping bug shows up as a named anomaly, not a KeyError).
+UNMAPPED = "(unmapped)"
+
+#: Flame frame for MC queue delays not attributable to any core.
+MEM_FRAME = "(mem)"
+
+
+class WriteHeatmap(ProbeObserver):
+    """Per-line and per-region NVMM write attribution.
+
+    Subscribe via ``probed(machine, [heatmap])`` (or the ``observers``
+    argument of ``run_variant``); the observer captures the machine's
+    address-region map in ``on_attach`` and then counts every
+    writeback plus every Store/Flush op it can see, giving each data
+    structure a wear and coalescing profile.
+    """
+
+    def __init__(self) -> None:
+        #: line -> cause -> writes accepted at the MC.
+        self._line_writes: Dict[int, Dict[str, int]] = {}
+        #: line -> stores issued (coalescing numerator).
+        self._line_stores: Dict[int, int] = {}
+        #: line -> flush/flushwb ops issued.
+        self._line_flushes: Dict[int, int] = {}
+        self._region_bases: List[int] = []
+        self._regions: List[Region] = []
+
+    # -- probe channels ----------------------------------------------------
+
+    def on_attach(self, machine: "Machine") -> None:
+        """Capture the allocator's region map (called by attach_probes)."""
+        regions = sorted(
+            machine.allocator.regions.values(), key=lambda r: r.base
+        )
+        self._region_bases = [r.base for r in regions]
+        self._regions = regions
+
+    def on_op(self, ev: OpExecuted) -> None:
+        op = ev.op
+        op_type = type(op)
+        if op_type is Store:
+            line = line_of(op.addr)
+            self._line_stores[line] = self._line_stores.get(line, 0) + 1
+        elif op_type is Flush or op_type is FlushWB:
+            line = line_of(op.addr)
+            self._line_flushes[line] = self._line_flushes.get(line, 0) + 1
+
+    def on_writeback(self, ev: WritebackAccepted) -> None:
+        per_cause = self._line_writes.setdefault(ev.line_addr, {})
+        per_cause[ev.cause] = per_cause.get(ev.cause, 0) + 1
+
+    # -- aggregation -------------------------------------------------------
+
+    def line_totals(self) -> Dict[int, int]:
+        """Total writes per line — reconciles with ``writes_per_line``."""
+        return {
+            line: sum(by_cause.values())
+            for line, by_cause in self._line_writes.items()
+        }
+
+    def totals_by_cause(self) -> Dict[str, int]:
+        """Writes per cause — reconciles with ``writes_by_cause``."""
+        out: Dict[str, int] = {}
+        for by_cause in self._line_writes.values():
+            for cause, count in by_cause.items():
+                out[cause] = out.get(cause, 0) + count
+        return out
+
+    @property
+    def total_writes(self) -> int:
+        """All writes seen — reconciles with ``nvmm_writes``."""
+        return sum(
+            count
+            for by_cause in self._line_writes.values()
+            for count in by_cause.values()
+        )
+
+    def region_name(self, addr: int) -> str:
+        """Name of the allocator region containing ``addr``."""
+        index = bisect.bisect_right(self._region_bases, addr) - 1
+        if index >= 0 and addr < self._regions[index].end:
+            return self._regions[index].name
+        return UNMAPPED
+
+    def hot_lines(self, k: int = 10) -> List[Tuple[int, int, str]]:
+        """Top-``k`` most-written lines as ``(line, writes, region)``."""
+        totals = self.line_totals()
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            (line, writes, self.region_name(line))
+            for line, writes in ranked[:k]
+        ]
+
+    def region_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-region rollup: wear and coalescing in one dict.
+
+        ``stores_per_write`` is the coalescing efficiency — how many
+        8-byte stores each accepted line write absorbed (higher is
+        better; eager flushing pushes it toward 1 store/write on
+        freshly flushed lines).
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        touched: Dict[str, List[int]] = {}
+        for line, total in self.line_totals().items():
+            touched.setdefault(self.region_name(line), []).append(total)
+        causes: Dict[str, Dict[str, int]] = {}
+        for line, by_cause in self._line_writes.items():
+            bucket = causes.setdefault(self.region_name(line), {})
+            for cause, count in by_cause.items():
+                bucket[cause] = bucket.get(cause, 0) + count
+        stores: Dict[str, int] = {}
+        for line, count in self._line_stores.items():
+            name = self.region_name(line)
+            stores[name] = stores.get(name, 0) + count
+        flushes: Dict[str, int] = {}
+        for line, count in self._line_flushes.items():
+            name = self.region_name(line)
+            flushes[name] = flushes.get(name, 0) + count
+
+        names = set(touched) | set(stores) | set(flushes)
+        for name in sorted(names):
+            counts = touched.get(name, [])
+            writes = sum(counts)
+            region = next(
+                (r for r in self._regions if r.name == name), None
+            )
+            region_lines = (
+                len(range(line_of(region.base), region.end, LINE_BYTES))
+                if region is not None
+                else 0
+            )
+            out[name] = {
+                "writes": writes,
+                "writes_by_cause": dict(sorted(causes.get(name, {}).items())),
+                "lines_touched": len(counts),
+                "region_lines": region_lines,
+                "max_line_writes": max(counts) if counts else 0,
+                "mean_line_writes": (
+                    writes / len(counts) if counts else 0.0
+                ),
+                "stores": stores.get(name, 0),
+                "flushes": flushes.get(name, 0),
+                "stores_per_write": (
+                    stores.get(name, 0) / writes if writes else 0.0
+                ),
+            }
+        return out
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe document: totals, regions, and the full line map."""
+        return {
+            "total_writes": self.total_writes,
+            "writes_by_cause": dict(sorted(self.totals_by_cause().items())),
+            "regions": self.region_summary(),
+            "hot_lines": [
+                {"line": line, "writes": writes, "region": region}
+                for line, writes, region in self.hot_lines(k=20)
+            ],
+            "lines": {
+                str(line): dict(sorted(by_cause.items()))
+                for line, by_cause in sorted(self._line_writes.items())
+            },
+        }
+
+    def csv(self) -> str:
+        """Per-line CSV: ``line,region,writes,stores,flushes``."""
+        buf = io.StringIO()
+        buf.write("line,region,writes,stores,flushes\n")
+        lines = (
+            set(self.line_totals())
+            | set(self._line_stores)
+            | set(self._line_flushes)
+        )
+        totals = self.line_totals()
+        for line in sorted(lines):
+            buf.write(
+                f"{line},{self.region_name(line)},{totals.get(line, 0)},"
+                f"{self._line_stores.get(line, 0)},"
+                f"{self._line_flushes.get(line, 0)}\n"
+            )
+        return buf.getvalue()
+
+
+class StallFlame(ProbeObserver):
+    """Stall cycles attributed ``provenance x cause``, flamegraph-ready.
+
+    ``root`` (typically ``"<workload>/<variant>"``) becomes the common
+    bottom frame.  Each core contributes a ``core<i>`` frame, then the
+    workload's open :class:`~repro.sim.isa.Phase` frames, then the
+    ledger cause as the leaf.  Runs without provenance tagging still
+    produce a valid (two-level) flamegraph — per-core per-cause.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root
+        #: stack tuple -> (stall cycles, events).
+        self._cycles: Dict[Tuple[str, ...], float] = {}
+        self._events: Dict[Tuple[str, ...], int] = {}
+        #: Per-cause totals accumulated chronologically — bit-exact
+        #: against the ledger (same order, same addends).
+        self._by_cause: Dict[str, float] = {}
+        self._stacks: Dict[int, List[str]] = {}
+
+    # -- probe channels ----------------------------------------------------
+
+    def on_op(self, ev: OpExecuted) -> None:
+        op = ev.op
+        if type(op) is not Phase:
+            return
+        stack = self._stacks.setdefault(ev.core_id, [])
+        if op.label is not None:
+            stack.append(op.label)
+        elif stack:
+            stack.pop()
+
+    def on_stall(self, ev: StallCharged) -> None:
+        self._charge(
+            self._frames(ev.core_id, ev.cause), ev.cause, ev.cycles
+        )
+
+    def on_writeback(self, ev: WritebackAccepted) -> None:
+        # Mirrors LatencyLedger.queue_delay: one charge per accepted
+        # write, skipped when non-positive (the ledger's guard).
+        if ev.queue_delay <= 0:
+            return
+        self._charge(
+            self._frames(ev.core_id, "mc_write_queue"),
+            "mc_write_queue",
+            ev.queue_delay,
+        )
+
+    # -- accumulation ------------------------------------------------------
+
+    def _frames(
+        self, core_id: Optional[int], cause: str
+    ) -> Tuple[str, ...]:
+        frames: List[str] = [] if self.root is None else [self.root]
+        if core_id is None:
+            frames.append(MEM_FRAME)
+        else:
+            frames.append(f"core{core_id}")
+            frames.extend(self._stacks.get(core_id, ()))
+        frames.append(cause)
+        return tuple(frames)
+
+    def _charge(
+        self, key: Tuple[str, ...], cause: str, cycles: float
+    ) -> None:
+        self._cycles[key] = self._cycles.get(key, 0.0) + cycles
+        self._events[key] = self._events.get(key, 0) + 1
+        self._by_cause[cause] = self._by_cause.get(cause, 0.0) + cycles
+
+    # -- aggregation -------------------------------------------------------
+
+    def totals_by_cause(self) -> Dict[str, float]:
+        """Stall cycles per cause — bit-exact vs ``stall_cycles/*``."""
+        return dict(self._by_cause)
+
+    @property
+    def total_stall_cycles(self) -> float:
+        return sum(self._by_cause.values())
+
+    def stacks(self) -> Dict[Tuple[str, ...], float]:
+        """The raw ``stack tuple -> cycles`` map (leaf frame = cause)."""
+        return dict(self._cycles)
+
+    # -- export ------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Folded-stack text: ``frame;frame;cause <cycles>`` per line.
+
+        The format speedscope auto-detects and ``flamegraph.pl`` /
+        inferno consume.  Weights must be integers, so cycles are
+        rounded; stacks rounding to zero are dropped.
+        """
+        lines = []
+        for key in sorted(self._cycles):
+            weight = int(round(self._cycles[key]))
+            if weight <= 0:
+                continue
+            lines.append(";".join(key) + f" {weight}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe document: per-stack and per-cause totals."""
+        return {
+            "root": self.root,
+            "total_stall_cycles": self.total_stall_cycles,
+            "by_cause": dict(sorted(self._by_cause.items())),
+            "stacks": [
+                {
+                    "frames": list(key),
+                    "cycles": self._cycles[key],
+                    "events": self._events[key],
+                }
+                for key in sorted(self._cycles)
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# text renderers (CLI: repro heatmap / repro flame)
+# ----------------------------------------------------------------------
+
+
+def _bar(value: float, peak: float, width: int = 24) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1, int(round(width * value / peak)))
+
+
+def render_heatmap(
+    heatmap: WriteHeatmap,
+    base: Optional[WriteHeatmap] = None,
+    top: int = 10,
+    title: str = "Write heatmap",
+) -> str:
+    """Region table + hot-line bars; ``base`` adds amplification.
+
+    ``base`` is the same workload's non-persistent run: the per-region
+    ``amp`` column is then this run's writes over the base's — Fig. 13's
+    write amplification, explainable region by region.
+    """
+    from repro.analysis.reporting import format_table
+
+    base_regions = base.region_summary() if base is not None else {}
+    headers = [
+        "region", "writes", "lines", "max/line", "stores/write",
+    ]
+    if base is not None:
+        headers.append("amp vs base")
+    rows: List[List[object]] = []
+    for name, info in heatmap.region_summary().items():
+        row: List[object] = [
+            name,
+            info["writes"],
+            f"{info['lines_touched']}/{info['region_lines']}",
+            info["max_line_writes"],
+            f"{info['stores_per_write']:.2f}",
+        ]
+        if base is not None:
+            base_writes = base_regions.get(name, {}).get("writes", 0)
+            writes = info["writes"]
+            if not isinstance(base_writes, int) or base_writes == 0:
+                row.append("-" if not writes else "inf")
+            else:
+                assert isinstance(writes, int)
+                row.append(f"x{writes / base_writes:.2f}")
+        rows.append(row)
+    out = [format_table(headers, rows, title=title)]
+
+    hot = heatmap.hot_lines(k=top)
+    if hot:
+        peak = hot[0][1]
+        out.append("\nhot lines (writes):")
+        for line, writes, region in hot:
+            out.append(
+                f"  {line:#010x}  {writes:>6}  {_bar(writes, peak)}  {region}"
+            )
+    out.append(f"\ntotal NVMM writes: {heatmap.total_writes}")
+    if base is not None:
+        base_total = base.total_writes
+        if base_total:
+            out.append(
+                f"write amplification vs base: "
+                f"x{heatmap.total_writes / base_total:.3f}"
+            )
+    return "\n".join(out)
+
+
+def render_flame(flame: StallFlame, top: int = 15) -> str:
+    """Top stall stacks as a text table (full data via collapsed())."""
+    from repro.analysis.reporting import format_table
+
+    total = flame.total_stall_cycles
+    stacks = sorted(
+        flame.stacks().items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    rows: List[List[object]] = []
+    for key, cycles in stacks[:top]:
+        share = f"{100.0 * cycles / total:.1f}%" if total else "-"
+        rows.append([";".join(key), f"{cycles:.1f}", share])
+    table = format_table(
+        ["stack (innermost = cause)", "stall cycles", "share"],
+        rows,
+        title="Stall attribution",
+    )
+    return (
+        table
+        + f"\ntotal attributed stall cycles: {total:.1f}"
+        + (
+            f"  ({len(stacks)} stacks, top {top} shown)"
+            if len(stacks) > top
+            else ""
+        )
+    )

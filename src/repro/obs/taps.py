@@ -134,6 +134,13 @@ def attach_probes(machine: Machine, bus: ProbeBus) -> ProbeBus:
             _cleaner_tap(machine.cleaner, bus),
         )
 
+    # Observers that need machine context (e.g. the write heatmap's
+    # address-region map) get a look at it before any event flows.
+    for observer in bus.observers:
+        hook = getattr(observer, "on_attach", None)
+        if hook is not None:
+            hook(machine)
+
     setattr(machine, _SESSION_ATTR, session)
     return bus
 

@@ -55,6 +55,7 @@ from repro.sim.isa import (
     FlushWB,
     Load,
     Op,
+    Phase,
     RegionMark,
     Store,
 )
@@ -203,6 +204,11 @@ class Core:
     def _exec_mark(self, op: RegionMark) -> None:
         return None
 
+    def _exec_phase(self, op: Phase) -> None:
+        # Provenance frames are free: no events, no cycles.  Profiling
+        # observers see them through the OpExecuted probe channel.
+        return None
+
 
 #: Type-keyed op dispatch, shared by every timing model (Barriers are
 #: scheduler-level and handled by the machine, so they are absent here
@@ -215,4 +221,5 @@ _OP_HANDLERS: Dict[Type[Op], Callable[[Core, Any], Optional[float]]] = {
     FlushWB: Core._exec_flushwb,
     Fence: Core._exec_fence,
     RegionMark: Core._exec_mark,
+    Phase: Core._exec_phase,
 }

@@ -19,13 +19,16 @@ Fence        ``sfence``: stall until the core's outstanding stores and
 Compute      ``flops`` arithmetic operations (issue-width limited)
 RegionMark   zero-cost annotation used by tracing/tests and the crash
              machinery to name persistency-region boundaries
+Phase        zero-cost provenance frame: a label pushes one frame on
+             the issuing core's phase stack, ``None`` pops — consumed
+             only by profiling observers (stall flamegraphs)
 ===========  ==========================================================
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 
 @dataclass(frozen=True)
@@ -74,10 +77,24 @@ class RegionMark:
 
 
 @dataclass(frozen=True)
+class Phase:
+    """Provenance frame delimiter: push ``label`` on the issuing core's
+    phase stack, or pop the innermost frame when ``label`` is ``None``.
+
+    Free on every engine (no events, no cycles, no state); workloads
+    emit Phases only when provenance tagging is opted into, so untagged
+    op streams are byte-identical to pre-provenance runs."""
+
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class Barrier:
     """Thread barrier: every running thread must reach a Barrier before
     any proceeds; all clocks synchronise to the latest arrival.  Used by
     stage-structured kernels (Cholesky column blocks, FFT stages)."""
 
 
-Op = Union[Load, Store, Flush, FlushWB, Fence, Compute, RegionMark, Barrier]
+Op = Union[
+    Load, Store, Flush, FlushWB, Fence, Compute, RegionMark, Phase, Barrier
+]

@@ -42,6 +42,7 @@ from repro.sim.isa import (
     FlushWB,
     Load,
     Op,
+    Phase,
     RegionMark,
     Store,
 )
@@ -453,6 +454,8 @@ class Machine:
                     if op_type is RegionMark:
                         region_marks += 1
                         continue  # free op: the core keeps its turn
+                    if op_type is Phase:
+                        continue  # free op (provenance frame): same deal
                     if op_type is Flush or op_type is FlushWB:
                         flush_ops += 1
                     break

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.isa import Phase
 from repro.sim.machine import Machine, ThreadGen
 
 #: Variants of Table IV.
@@ -51,6 +52,23 @@ class BoundWorkload(ABC):
         self.machine = machine
         self.num_threads = num_threads
         self.engine_name = engine
+        #: Provenance tagging is opt-in: when off (the default) the op
+        #: stream is byte-identical to pre-provenance runs, pinned by
+        #: tests/obs/test_provenance.py.
+        self.provenance = False
+
+    # -- provenance ------------------------------------------------------------
+
+    def tag(self, label: Optional[str] = None) -> Iterator[Phase]:
+        """Yield one :class:`Phase` frame op — or nothing when untagged.
+
+        Workload coroutines write ``yield from self.tag("kk0")`` to push
+        a provenance frame and ``yield from self.tag()`` to pop it; with
+        ``self.provenance`` left False both are zero ops, so tagging
+        call-sites cost nothing on ordinary runs.
+        """
+        if self.provenance:
+            yield Phase(label)
 
     # -- execution -------------------------------------------------------------
 

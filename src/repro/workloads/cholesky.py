@@ -121,8 +121,10 @@ class BoundCholesky(BoundWorkload):
     def _worker(self, variant: str, tid: int, start_block: int) -> ThreadGen:
         spec = self.spec
         for block in range(start_block, spec.num_blocks):
+            yield from self.tag(f"block{block}")
             yield RegionMark(f"chol:{variant}:b{block}:t{tid}")
             yield from self._block(variant, tid, block)
+            yield from self.tag()
 
     def _block(
         self, variant: str, tid: int, block: int

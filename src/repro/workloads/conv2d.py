@@ -122,8 +122,10 @@ class BoundConv2D(BoundWorkload):
 
     def _worker(self, variant: str, tid: int) -> ThreadGen:
         for block in self.my_blocks(tid):
+            yield from self.tag(f"block{block}")
             yield RegionMark(f"conv:{variant}:block{block}")
             yield from self._region(variant, tid, block)
+            yield from self.tag()
 
     def _region(
         self, variant: str, tid: int, block: int

@@ -144,8 +144,10 @@ class BoundFFT(BoundWorkload):
 
     def _worker(self, variant: str, tid: int, start_stage: int) -> ThreadGen:
         for stage in range(start_stage, self.spec.stages):
+            yield from self.tag(f"stage{stage}")
             yield RegionMark(f"fft:{variant}:s{stage}:t{tid}")
             yield from self._stage(variant, tid, stage)
+            yield from self.tag()
             yield Barrier()
 
     def _stage(

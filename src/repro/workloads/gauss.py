@@ -139,12 +139,16 @@ class BoundGauss(BoundWorkload):
 
     def _worker(self, variant: str, tid: int, start_pivot: int) -> ThreadGen:
         for k in range(start_pivot, self.spec.pivots):
+            yield from self.tag(f"pivot{k}")
             for block in self.my_blocks(tid):
                 rows = self.block_rows(block, k)
                 if not rows:
                     continue
+                yield from self.tag(f"block{block}")
                 yield RegionMark(f"gauss:{variant}:k{k}:b{block}")
                 yield from self._region(variant, tid, k, block, rows)
+                yield from self.tag()
+            yield from self.tag()
             # stage k+1 reads pivot row k+1, finalised in stage k
             yield Barrier()
 

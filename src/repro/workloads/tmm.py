@@ -273,16 +273,20 @@ class BoundTMM(BoundWorkload):
     ) -> ThreadGen:
         lp_kk = variant == VARIANT_LP and self.spec.granularity == "kk"
         for kkt in range(start_kk_tile, self.spec.kk_tiles):
+            yield from self.tag(f"kk{kkt}")
             outer_ck = self.lp.begin_region() if lp_kk else None
             for iit in self.my_ii_tiles(tid):
+                yield from self.tag(f"ii{iit}")
                 yield RegionMark(f"tmm:{variant}:kk{kkt}:ii{iit}")
                 yield from self._region(variant, tid, kkt, iit, outer_ck)
+                yield from self.tag()
             if lp_kk:
                 assert outer_ck is not None
                 yield from self._commit_slot(
                     outer_ck, kkt, 0, None, tid,
                     eager=self.spec.eager_checksum,
                 )
+            yield from self.tag()
 
     def _region(
         self,

@@ -12,6 +12,7 @@ from repro.analysis.runner import (
     code_version,
     run_jobs,
     run_variant_cached,
+    workload_from_spec,
     workload_spec,
 )
 from repro.errors import ConfigError
@@ -74,6 +75,52 @@ class TestCacheKey:
         int(code_version(), 16)
 
 
+class TestWorkloadSpecRoundTrip:
+    """workload_from_spec rebuilds exactly the workload a spec named."""
+
+    def test_round_trips_every_registered_workload(self):
+        from repro.workloads import available_workloads, get_workload
+
+        params = {
+            "tmm": {"n": 8, "bsize": 4, "kk_tiles": 1},
+            "fft": {"n": 16},
+            "gauss": {"n": 8, "row_block": 4},
+            "cholesky": {"n": 8, "col_block": 4},
+            "conv2d": {"n": 8, "row_block": 2},
+        }
+        for name in available_workloads():
+            workload = get_workload(name)(**params.get(name, {}))
+            spec = workload_spec(workload)
+            rebuilt = workload_from_spec(spec)
+            assert type(rebuilt) is type(workload)
+            assert workload_spec(rebuilt) == spec
+
+    def test_derived_attributes_are_rederived_not_passed(self):
+        # tmm's spec records the derived tile count; the constructor
+        # does not accept it, so the round trip must re-derive it.
+        spec = workload_spec(tmm(n=16, bsize=8))
+        assert "tiles" in spec
+        rebuilt = workload_from_spec(spec)
+        assert rebuilt.tiles == tmm(n=16, bsize=8).tiles
+
+    def test_rejects_specs_without_a_name(self):
+        with pytest.raises(ConfigError):
+            workload_from_spec({"n": 16})
+
+    def test_rejects_unknown_workloads(self):
+        with pytest.raises(Exception):
+            workload_from_spec({"__name__": "nope"})
+
+    def test_rejects_drifted_specs(self):
+        # A stored spec whose parameters no longer reproduce themselves
+        # (here: a stale derived attribute) must fail loudly instead of
+        # silently measuring a different problem.
+        spec = workload_spec(tmm(n=16, bsize=8))
+        spec["tiles"] = 99
+        with pytest.raises(ConfigError):
+            workload_from_spec(spec)
+
+
 class TestObsCacheIsolation:
     """Observability must never poison (or be served from) plain keys."""
 
@@ -115,6 +162,16 @@ class TestObsCacheIsolation:
         )
         expected = hashlib.sha256(payload.encode()).hexdigest()
         assert job.cache_key() == expected
+
+    def test_provenance_keying_mirrors_obs_interval(self):
+        # Off (the default) leaves the key byte-identical to a plain
+        # job — the pre-provenance pin above keeps holding — and on
+        # moves the result under a distinct key.
+        plain = Job(tmm(), config(), "lp", num_threads=2)
+        off = Job(tmm(), config(), "lp", num_threads=2, provenance=False)
+        on = Job(tmm(), config(), "lp", num_threads=2, provenance=True)
+        assert off.cache_key() == plain.cache_key()
+        assert on.cache_key() != plain.cache_key()
 
     def test_sampled_results_round_trip_through_the_cache(self, tmp_path):
         cache = ResultCache(root=str(tmp_path))

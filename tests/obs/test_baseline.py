@@ -1,0 +1,211 @@
+"""Tests for the regression sentinel (repro.obs.baseline).
+
+The committed baselines under ``benchmarks/baselines/`` are data;
+these tests pin the machinery — measurement, storage, comparison —
+on a deliberately small case so the suite stays fast.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.baseline import (
+    BASELINE_SEEDS,
+    DEFAULT_SUITE,
+    GATED_METRICS,
+    MIN_BAND,
+    Baseline,
+    BaselineCase,
+    BaselineStore,
+    RegressionReport,
+    Verdict,
+    baseline_config,
+    compare_case,
+    measure_case,
+    mistimed,
+)
+
+SMALL_CASE = BaselineCase(
+    case_id="tmm-lp-small",
+    workload="tmm",
+    params=(("n", 8), ("bsize", 4), ("kk_tiles", 1)),
+    variant="lp",
+)
+
+
+@pytest.fixture(scope="module")
+def small_baseline():
+    return measure_case(SMALL_CASE)
+
+
+class TestMeasurement:
+    def test_gated_metrics_with_bands_and_per_seed_values(
+        self, small_baseline
+    ):
+        assert set(small_baseline.metrics) == set(GATED_METRICS)
+        for record in small_baseline.metrics.values():
+            assert record["band"] >= MIN_BAND
+            assert len(record["per_seed"]) == len(BASELINE_SEEDS)
+            assert record["mean"] == pytest.approx(
+                sum(record["per_seed"]) / len(record["per_seed"])
+            )
+
+    def test_measurement_is_deterministic(self, small_baseline):
+        again = measure_case(SMALL_CASE)
+        assert again.metrics == small_baseline.metrics
+        assert again.spec == small_baseline.spec
+
+    def test_default_suite_covers_every_workload_and_variant(self):
+        from repro.workloads import available_workloads
+
+        ids = {c.case_id for c in DEFAULT_SUITE}
+        for name in available_workloads():
+            for variant in ("base", "lp", "ep"):
+                assert f"{name}-{variant}" in ids
+
+    def test_baseline_config_varies_only_the_seed(self):
+        one, two = baseline_config(1), baseline_config(2)
+        assert one.schedule_seed == 1 and two.schedule_seed == 2
+        assert one.schedule_jitter == two.schedule_jitter > 0
+        assert one.core == two.core
+
+
+class TestMistimed:
+    def test_scales_core_issue_latencies(self):
+        config = baseline_config(1)
+        slow = mistimed(config, 1.5)
+        assert slow.core.compute_cpi == config.core.compute_cpi * 1.5
+        assert (
+            slow.core.l1_hit_issue_cycles
+            == config.core.l1_hit_issue_cycles * 1.5
+        )
+        assert (
+            slow.core.store_drain_cycles
+            == config.core.store_drain_cycles * 1.5
+        )
+        assert (
+            slow.core.flush_issue_cycles
+            == config.core.flush_issue_cycles * 1.5
+        )
+
+    def test_rejects_nonpositive_factors(self):
+        with pytest.raises(ConfigError):
+            mistimed(baseline_config(1), 0.0)
+        with pytest.raises(ConfigError):
+            mistimed(baseline_config(1), -1.0)
+
+
+class TestStore:
+    def test_round_trip(self, small_baseline, tmp_path):
+        store = BaselineStore(str(tmp_path))
+        path = store.save(small_baseline)
+        assert path.endswith("tmm-lp-small.json")
+        assert store.case_ids() == ["tmm-lp-small"]
+        loaded = store.load("tmm-lp-small")
+        assert loaded == small_baseline
+
+    def test_empty_store_lists_nothing(self, tmp_path):
+        assert BaselineStore(str(tmp_path / "missing")).case_ids() == []
+
+    def test_from_dict_rejects_wrong_schema(self, small_baseline):
+        doc = small_baseline.to_dict()
+        doc["schema"] = 99
+        with pytest.raises(ConfigError):
+            Baseline.from_dict(doc)
+
+    def test_from_dict_rejects_unknown_fields(self, small_baseline):
+        doc = small_baseline.to_dict()
+        doc["surprise"] = 1
+        with pytest.raises(ConfigError):
+            Baseline.from_dict(doc)
+
+    def test_from_dict_rejects_missing_fields(self, small_baseline):
+        doc = small_baseline.to_dict()
+        del doc["metrics"]
+        with pytest.raises(ConfigError):
+            Baseline.from_dict(doc)
+
+    def test_load_rejects_malformed_files(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigError):
+            BaselineStore(str(tmp_path)).load("bad")
+
+
+class TestComparison:
+    def test_identical_rerun_passes(self, small_baseline):
+        verdicts = compare_case(small_baseline)
+        assert verdicts
+        assert not any(v.regressed for v in verdicts)
+        for v in verdicts:
+            assert v.ratio == pytest.approx(1.0)
+
+    def test_synthetic_exec_regression_trips(self, small_baseline):
+        # Deflate the stored exec_cycles mean 10%: the identical fresh
+        # measurement now lands ~10% above it, far outside the band.
+        doc = small_baseline.to_dict()
+        exec_metric = doc["metrics"]["exec_cycles"]
+        exec_metric["mean"] = exec_metric["mean"] / 1.1
+        deflated = Baseline.from_dict(doc)
+        verdicts = {v.metric: v for v in compare_case(deflated)}
+        assert verdicts["exec_cycles"].regressed
+        assert verdicts["exec_cycles"].ratio == pytest.approx(1.1)
+        assert not verdicts["total_writes"].regressed
+
+    def test_mistime_injection_trips_exec_cycles(self, small_baseline):
+        verdicts = {
+            v.metric: v
+            for v in compare_case(small_baseline, mistime=1.5)
+        }
+        assert verdicts["exec_cycles"].regressed
+        assert verdicts["exec_cycles"].fresh_mean > (
+            small_baseline.metrics["exec_cycles"]["mean"]
+        )
+
+    def test_report_aggregates_and_renders(self):
+        ok = Verdict("c", "exec_cycles", 100.0, 0.02, 101.0, False)
+        bad = Verdict("c", "total_writes", 50.0, 0.02, 60.0, True)
+        report = RegressionReport(verdicts=[ok, bad])
+        assert not report.ok
+        assert report.regressions == [bad]
+        text = report.render()
+        assert "REGRESSED" in text and "ok" in text
+        assert "1 of 2 gated metrics out of band" in text
+
+    def test_all_clear_report_is_ok(self):
+        report = RegressionReport(
+            verdicts=[Verdict("c", "exec_cycles", 100.0, 0.02, 100.0, False)]
+        )
+        assert report.ok
+        assert "within their noise bands" in report.render()
+
+
+class TestCliRegress:
+    """End-to-end: update, pass, then trip — via the real CLI."""
+
+    ARGS = ["--cases", "tmm-lp", "--no-cache"]
+
+    def test_update_then_pass_then_trip(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        store = str(tmp_path / "baselines")
+        assert main(
+            ["regress", "--baselines", store, "--update-baselines",
+             *self.ARGS]
+        ) == 0
+        assert "baseline written" in capsys.readouterr().out
+
+        assert main(["regress", "--baselines", store, *self.ARGS]) == 0
+        assert "within their noise bands" in capsys.readouterr().out
+
+        rc = main(
+            ["regress", "--baselines", store, "--mistime", "1.5",
+             *self.ARGS]
+        )
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_store_is_an_error(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["regress", "--baselines", str(tmp_path / "none")])

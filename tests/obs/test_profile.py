@@ -1,0 +1,242 @@
+"""Unit tests for the attribution profilers (repro.obs.profile).
+
+The reconciliation suite (tests/obs/test_reconcile.py) pins the
+observers against real runs; these tests pin the mechanics — region
+mapping, stack maintenance, export formats, renderers — on small
+hand-built event streams.
+"""
+
+import json
+
+from repro.obs.events import OpExecuted, StallCharged, WritebackAccepted
+from repro.obs.profile import (
+    MEM_FRAME,
+    UNMAPPED,
+    StallFlame,
+    WriteHeatmap,
+    render_flame,
+    render_heatmap,
+)
+from repro.sim.address import ELEMENT_BYTES, LINE_BYTES, Region
+from repro.sim.isa import Flush, Phase, Store
+
+
+class FakeAllocator:
+    def __init__(self, regions):
+        self.regions = {r.name: r for r in regions}
+
+
+class FakeMachine:
+    def __init__(self, regions):
+        self.allocator = FakeAllocator(regions)
+
+
+ELEMS_PER_LINE = LINE_BYTES // ELEMENT_BYTES
+
+
+def make_heatmap(regions=None):
+    heatmap = WriteHeatmap()
+    if regions is None:
+        regions = [
+            Region("a", base=LINE_BYTES, num_elements=2 * ELEMS_PER_LINE),
+            Region(
+                "b", base=3 * LINE_BYTES, num_elements=ELEMS_PER_LINE
+            ),
+        ]
+    heatmap.on_attach(FakeMachine(regions))
+    return heatmap
+
+
+def writeback(line_addr, cause="flush", queue_delay=0.0, core_id=0):
+    return WritebackAccepted(
+        line_addr=line_addr,
+        cause=cause,
+        core_id=core_id,
+        issued=0.0,
+        accept_time=1.0,
+        durable_time=2.0,
+        queue_delay=queue_delay,
+        queue_depth=1,
+        volatility=None,
+    )
+
+
+def op_event(op, core_id=0):
+    return OpExecuted(core_id=core_id, op=op, result=None, start=0.0, end=1.0)
+
+
+def stall(cause, cycles, core_id=0):
+    return StallCharged(
+        core_id=core_id, cause=cause, start=0.0, cycles=cycles, lost_slots=0
+    )
+
+
+class TestWriteHeatmap:
+    def test_region_mapping_covers_bases_interiors_and_gaps(self):
+        heatmap = make_heatmap()
+        assert heatmap.region_name(LINE_BYTES) == "a"
+        assert heatmap.region_name(2 * LINE_BYTES) == "a"
+        assert heatmap.region_name(3 * LINE_BYTES - 1) == "a"
+        assert heatmap.region_name(3 * LINE_BYTES) == "b"
+        # Below the first region and past the last: unmapped.
+        assert heatmap.region_name(0) == UNMAPPED
+        assert heatmap.region_name(4 * LINE_BYTES) == UNMAPPED
+
+    def test_counts_roll_up_by_line_and_cause(self):
+        heatmap = make_heatmap()
+        heatmap.on_writeback(writeback(LINE_BYTES, "flush"))
+        heatmap.on_writeback(writeback(LINE_BYTES, "evict"))
+        heatmap.on_writeback(writeback(3 * LINE_BYTES, "flush"))
+        assert heatmap.line_totals() == {
+            LINE_BYTES: 2, 3 * LINE_BYTES: 1
+        }
+        assert heatmap.totals_by_cause() == {"flush": 2, "evict": 1}
+        assert heatmap.total_writes == 3
+
+    def test_hot_lines_rank_by_writes_then_address(self):
+        heatmap = make_heatmap()
+        for _ in range(3):
+            heatmap.on_writeback(writeback(3 * LINE_BYTES))
+        heatmap.on_writeback(writeback(LINE_BYTES))
+        heatmap.on_writeback(writeback(2 * LINE_BYTES))
+        hot = heatmap.hot_lines(k=2)
+        assert hot == [
+            (3 * LINE_BYTES, 3, "b"),
+            (LINE_BYTES, 1, "a"),
+        ]
+
+    def test_region_summary_derives_coalescing(self):
+        heatmap = make_heatmap()
+        heatmap.on_op(op_event(Store(LINE_BYTES, 1.0)))
+        heatmap.on_op(op_event(Store(LINE_BYTES + ELEMENT_BYTES, 2.0)))
+        heatmap.on_op(op_event(Flush(LINE_BYTES)))
+        heatmap.on_writeback(writeback(LINE_BYTES, "flush"))
+        summary = heatmap.region_summary()
+        info = summary["a"]
+        assert info["writes"] == 1
+        assert info["stores"] == 2
+        assert info["flushes"] == 1
+        assert info["stores_per_write"] == 2.0
+        assert info["lines_touched"] == 1
+        assert info["region_lines"] == 2
+
+    def test_csv_and_to_dict_agree_with_totals(self):
+        heatmap = make_heatmap()
+        heatmap.on_op(op_event(Store(3 * LINE_BYTES, 1.0)))
+        heatmap.on_writeback(writeback(3 * LINE_BYTES, "evict"))
+        doc = heatmap.to_dict()
+        assert doc["total_writes"] == 1
+        assert doc["writes_by_cause"] == {"evict": 1}
+        assert doc["lines"] == {str(3 * LINE_BYTES): {"evict": 1}}
+        json.dumps(doc)  # JSON-safe
+        lines = heatmap.csv().strip().splitlines()
+        assert lines[0] == "line,region,writes,stores,flushes"
+        assert lines[1] == f"{3 * LINE_BYTES},b,1,1,0"
+
+    def test_render_includes_amplification_vs_base(self):
+        base = make_heatmap()
+        base.on_writeback(writeback(LINE_BYTES))
+        lp = make_heatmap()
+        for _ in range(2):
+            lp.on_writeback(writeback(LINE_BYTES))
+        text = render_heatmap(lp, base=base)
+        assert "x2.00" in text
+        assert "write amplification vs base: x2.000" in text
+
+    def test_render_without_base_has_no_amp_column(self):
+        heatmap = make_heatmap()
+        heatmap.on_writeback(writeback(LINE_BYTES))
+        text = render_heatmap(heatmap)
+        assert "amp vs base" not in text
+        assert "total NVMM writes: 1" in text
+
+
+class TestStallFlame:
+    def test_frames_nest_with_phase_push_and_pop(self):
+        flame = StallFlame(root="tmm/lp")
+        flame.on_op(op_event(Phase("kk0")))
+        flame.on_op(op_event(Phase("ii1")))
+        flame.on_stall(stall("fence_drain", 10.0))
+        flame.on_op(op_event(Phase(None)))
+        flame.on_stall(stall("fence_drain", 5.0))
+        stacks = flame.stacks()
+        assert stacks == {
+            ("tmm/lp", "core0", "kk0", "ii1", "fence_drain"): 10.0,
+            ("tmm/lp", "core0", "kk0", "fence_drain"): 5.0,
+        }
+
+    def test_per_core_stacks_are_independent(self):
+        flame = StallFlame()
+        flame.on_op(op_event(Phase("x"), core_id=0))
+        flame.on_stall(stall("fence_drain", 1.0, core_id=1))
+        assert flame.stacks() == {("core1", "fence_drain"): 1.0}
+
+    def test_pop_on_empty_stack_is_ignored(self):
+        flame = StallFlame()
+        flame.on_op(op_event(Phase(None)))
+        flame.on_op(op_event(Phase("x")))
+        flame.on_stall(stall("fence_drain", 1.0))
+        assert ("core0", "x", "fence_drain") in flame.stacks()
+
+    def test_queue_delays_charge_the_mc_cause(self):
+        flame = StallFlame()
+        flame.on_writeback(writeback(LINE_BYTES, queue_delay=3.0))
+        flame.on_writeback(writeback(LINE_BYTES, queue_delay=0.0))
+        flame.on_writeback(
+            writeback(LINE_BYTES, queue_delay=2.0, core_id=None)
+        )
+        assert flame.totals_by_cause() == {"mc_write_queue": 5.0}
+        assert ("core0", "mc_write_queue") in flame.stacks()
+        assert (MEM_FRAME, "mc_write_queue") in flame.stacks()
+
+    def test_collapsed_rounds_and_drops_zero_weights(self):
+        flame = StallFlame()
+        flame.on_stall(stall("a", 1.6))
+        flame.on_stall(stall("b", 0.2))
+        assert flame.collapsed() == "core0;a 2\n"
+
+    def test_collapsed_empty_flame_is_empty_string(self):
+        assert StallFlame().collapsed() == ""
+
+    def test_to_dict_reports_stacks_and_events(self):
+        flame = StallFlame(root="r")
+        flame.on_stall(stall("a", 1.0))
+        flame.on_stall(stall("a", 2.0))
+        doc = flame.to_dict()
+        assert doc["total_stall_cycles"] == 3.0
+        assert doc["by_cause"] == {"a": 3.0}
+        assert doc["stacks"] == [
+            {"frames": ["r", "core0", "a"], "cycles": 3.0, "events": 2}
+        ]
+        json.dumps(doc)
+
+    def test_render_shares_sum_to_total(self):
+        flame = StallFlame(root="r")
+        flame.on_stall(stall("a", 75.0))
+        flame.on_stall(stall("b", 25.0))
+        text = render_flame(flame)
+        assert "75.0%" in text
+        assert "25.0%" in text
+        assert "total attributed stall cycles: 100.0" in text
+
+
+def test_on_attach_is_called_by_attach_probes():
+    # The taps layer must hand every observer the machine before any
+    # event flows — WriteHeatmap needs the allocator's region map.
+    from repro.obs import probed
+    from repro.sim.config import tiny_machine
+    from repro.sim.machine import Machine
+    from repro.workloads import get_workload
+
+    wl = get_workload("tmm")(n=8, bsize=4, kk_tiles=1)
+    machine = Machine(tiny_machine())
+    bound = wl.bind(machine, num_threads=2)
+    heatmap = WriteHeatmap()
+    with probed(machine, [heatmap]):
+        # Eager persistency flushes during the run, so writebacks flow
+        # while the probes are attached even at this tiny size.
+        machine.run(bound.threads("ep"))
+    names = {
+        heatmap.region_name(line) for line in heatmap.line_totals()
+    }
+    assert names and UNMAPPED not in names

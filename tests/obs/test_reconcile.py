@@ -9,7 +9,14 @@ the time series trustworthy as debugging evidence.
 
 import pytest
 
-from repro.obs import IntervalSampler, TraceRecorder, probed
+from repro.obs import (
+    IntervalSampler,
+    StallFlame,
+    TraceRecorder,
+    WriteHeatmap,
+    probed,
+)
+from repro.obs.profile import UNMAPPED
 from repro.sim.cleaner import PeriodicCleaner
 from repro.sim.config import tiny_machine
 from repro.sim.isa import Compute, Fence, Flush, FlushWB, Load, Store
@@ -46,11 +53,20 @@ def recorded_runs():
         machine = Machine(config)
         machine.cleaner = PeriodicCleaner(500.0)
         bound = wl.bind(machine, num_threads=2, engine="modular")
+        # Provenance tagging on: the profiling observers below get
+        # Phase frames to attribute stalls to, and every other
+        # reconciliation below doubles as proof that tagging perturbs
+        # no counter.
+        bound.provenance = True
         recorder = TraceRecorder()
         sampler = IntervalSampler(500.0)
-        with probed(machine, [recorder, sampler]):
+        heatmap = WriteHeatmap()
+        flame = StallFlame(root=f"{name}/{variant}")
+        with probed(machine, [recorder, sampler, heatmap, flame]):
             result = machine.run(bound.threads(variant))
-        runs[(name, variant, timing)] = (recorder, sampler, result.stats)
+        runs[(name, variant, timing)] = (
+            recorder, sampler, heatmap, flame, result.stats
+        )
     return runs
 
 
@@ -59,7 +75,7 @@ class TestEventCounts:
     def test_writebacks_match_nvmm_writes(
         self, recorded_runs, name, variant, timing
     ):
-        recorder, _, stats = recorded_runs[(name, variant, timing)]
+        recorder, _, _, _, stats = recorded_runs[(name, variant, timing)]
         assert len(recorder.writebacks) == stats.nvmm_writes
         by_cause = {}
         for ev in recorder.writebacks:
@@ -69,7 +85,7 @@ class TestEventCounts:
     def test_reads_match_nvmm_reads(
         self, recorded_runs, name, variant, timing
     ):
-        recorder, _, stats = recorded_runs[(name, variant, timing)]
+        recorder, _, _, _, stats = recorded_runs[(name, variant, timing)]
         assert len(recorder.nvmm_reads) == stats.nvmm_reads
 
     def test_op_counts_match_core_stats(
@@ -78,7 +94,7 @@ class TestEventCounts:
         # Scheduler-level Barrier ops never reach Core.execute, so the
         # reconciled population is the per-type core counters, not raw
         # ``ops``.
-        recorder, _, stats = recorded_runs[(name, variant, timing)]
+        recorder, _, _, _, stats = recorded_runs[(name, variant, timing)]
         counts = recorder.op_counts()
         expected = {
             Load: sum(c.loads for c in stats.per_core),
@@ -94,7 +110,7 @@ class TestEventCounts:
     def test_fence_stall_cycles_match(
         self, recorded_runs, name, variant, timing
     ):
-        recorder, _, stats = recorded_runs[(name, variant, timing)]
+        recorder, _, _, _, stats = recorded_runs[(name, variant, timing)]
         recorded = sum(
             ev.cycles
             for ev in recorder.stalls
@@ -106,7 +122,7 @@ class TestEventCounts:
     def test_hazard_events_match_legacy_counters(
         self, recorded_runs, name, variant, timing
     ):
-        recorder, _, stats = recorded_runs[(name, variant, timing)]
+        recorder, _, _, _, stats = recorded_runs[(name, variant, timing)]
         totals = stats.hazard_totals()
         by_legacy = {}
         for ev in recorder.hazards:
@@ -126,7 +142,7 @@ class TestEventCounts:
     ):
         if timing != "functional":
             pytest.skip("detailed-model case")
-        recorder, _, _ = recorded_runs[(name, variant, timing)]
+        recorder, _, _, _, _ = recorded_runs[(name, variant, timing)]
         assert recorder.stalls == []
         assert recorder.hazards == []
 
@@ -134,7 +150,7 @@ class TestEventCounts:
 @pytest.mark.parametrize("name,variant,timing", CASES)
 class TestIntervalTotals:
     def test_write_totals_match(self, recorded_runs, name, variant, timing):
-        _, sampler, stats = recorded_runs[(name, variant, timing)]
+        _, sampler, _, _, stats = recorded_runs[(name, variant, timing)]
         totals = sampler.totals()
         for cause, count in stats.writes_by_cause.items():
             assert totals.get(f"writes.{cause}", 0) == count
@@ -146,7 +162,7 @@ class TestIntervalTotals:
     def test_stall_cycle_totals_match_ledger(
         self, recorded_runs, name, variant, timing
     ):
-        _, sampler, stats = recorded_runs[(name, variant, timing)]
+        _, sampler, _, _, stats = recorded_runs[(name, variant, timing)]
         totals = sampler.totals()
         for cause, cycles in stats.ledger.stall_cycles.items():
             if cause == "mc_write_queue":
@@ -164,7 +180,7 @@ class TestIntervalTotals:
         # includes counter-less RegionMark ops — so the exact anchor is
         # the recorder's per-core stream (whose per-type counts are
         # pinned to CoreStats by TestEventCounts), not the type sums.
-        recorder, sampler, stats = recorded_runs[(name, variant, timing)]
+        recorder, sampler, _, _, stats = recorded_runs[(name, variant, timing)]
         totals = sampler.totals()
         for core_id in recorder.core_ids():
             want = sum(recorder.op_counts(core_id).values())
@@ -176,9 +192,93 @@ class TestIntervalTotals:
     def test_reads_and_misses_match(
         self, recorded_runs, name, variant, timing
     ):
-        _, sampler, stats = recorded_runs[(name, variant, timing)]
+        _, sampler, _, _, stats = recorded_runs[(name, variant, timing)]
         totals = sampler.totals()
         assert totals.get("nvmm_reads", 0) == stats.nvmm_reads
         assert totals.get("l1_misses", 0) == sum(
             c.l1_misses for c in stats.per_core
         )
+
+
+@pytest.mark.parametrize("name,variant,timing", CASES)
+class TestHeatmapTotals:
+    """WriteHeatmap vs MachineStats: same MC accepts, same counts."""
+
+    def test_line_totals_match_stats(
+        self, recorded_runs, name, variant, timing
+    ):
+        _, _, heatmap, _, stats = recorded_runs[(name, variant, timing)]
+        assert heatmap.line_totals() == dict(stats.writes_per_line)
+
+    def test_cause_totals_match_stats(
+        self, recorded_runs, name, variant, timing
+    ):
+        _, _, heatmap, _, stats = recorded_runs[(name, variant, timing)]
+        assert heatmap.totals_by_cause() == dict(stats.writes_by_cause)
+        assert heatmap.total_writes == stats.nvmm_writes
+
+    def test_every_written_line_maps_to_a_region(
+        self, recorded_runs, name, variant, timing
+    ):
+        # Workload traffic goes through the allocator, so no written
+        # line may fall in the UNMAPPED bucket.
+        _, _, heatmap, _, _ = recorded_runs[(name, variant, timing)]
+        for line in heatmap.line_totals():
+            assert heatmap.region_name(line) != UNMAPPED, hex(line)
+
+    def test_region_summary_accounts_for_every_write(
+        self, recorded_runs, name, variant, timing
+    ):
+        _, _, heatmap, _, stats = recorded_runs[(name, variant, timing)]
+        summary = heatmap.region_summary()
+        assert (
+            sum(info["writes"] for info in summary.values())
+            == stats.nvmm_writes
+        )
+        for info in summary.values():
+            assert sum(info["writes_by_cause"].values()) == info["writes"]
+            assert info["lines_touched"] <= max(info["region_lines"], 1)
+
+
+@pytest.mark.parametrize("name,variant,timing", CASES)
+class TestFlameTotals:
+    """StallFlame vs the ledger: bit-exact per-cause stall cycles."""
+
+    def test_cause_totals_match_ledger_exactly(
+        self, recorded_runs, name, variant, timing
+    ):
+        # No approx here: the observer accumulates the same addends in
+        # the same order as the ledger, so float sums are bit-identical.
+        _, _, _, flame, stats = recorded_runs[(name, variant, timing)]
+        assert flame.totals_by_cause() == dict(stats.ledger.stall_cycles)
+
+    def test_stacks_account_for_every_cycle(
+        self, recorded_runs, name, variant, timing
+    ):
+        _, _, _, flame, _ = recorded_runs[(name, variant, timing)]
+        by_cause = {}
+        for key, cycles in flame.stacks().items():
+            by_cause[key[-1]] = by_cause.get(key[-1], 0.0) + cycles
+        for cause, cycles in flame.totals_by_cause().items():
+            assert by_cause.get(cause, 0.0) == pytest.approx(
+                cycles, abs=1e-9
+            ), cause
+
+    def test_functional_model_yields_empty_flame(
+        self, recorded_runs, name, variant, timing
+    ):
+        if timing != "functional":
+            pytest.skip("detailed-model case")
+        _, _, _, flame, _ = recorded_runs[(name, variant, timing)]
+        assert flame.totals_by_cause() == {}
+        assert flame.collapsed() == ""
+
+    def test_collapsed_output_parses_and_roots_correctly(
+        self, recorded_runs, name, variant, timing
+    ):
+        _, _, _, flame, _ = recorded_runs[(name, variant, timing)]
+        text = flame.collapsed()
+        for line in text.splitlines():
+            frames, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+            assert frames.split(";")[0] == f"{name}/{variant}"

@@ -213,6 +213,109 @@ class TestObservability:
         assert "| --- |" in capsys.readouterr().out
 
 
+class TestProfiling:
+    TINY = TestObservability.TINY
+
+    def test_heatmap_parser_defaults(self):
+        args = build_parser().parse_args(["heatmap", "tmm"])
+        assert args.variant == "lp"
+        assert args.base_variant == "base"
+        assert args.top == 10
+        assert args.out is None
+
+    def test_flame_parser_defaults(self):
+        args = build_parser().parse_args(["flame", "tmm"])
+        assert args.variant == "lp"
+        assert args.top == 15
+        assert args.out is None
+
+    def test_regress_parser_defaults(self):
+        args = build_parser().parse_args(["regress"])
+        assert args.baselines == "benchmarks/baselines"
+        assert args.update_baselines is False
+        assert args.mistime is None
+        assert args.cases is None
+
+    def test_heatmap_renders_amplification_and_writes_json(
+        self, capsys, tmp_path
+    ):
+        out = tmp_path / "heat.json"
+        rc = main(["heatmap", "tmm", *self.TINY,
+                   "--cleaner-period", "500", "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "write heatmap" in text
+        assert "amp vs base" in text
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["total_writes"] == sum(
+            sum(by_cause.values()) for by_cause in doc["lines"].values()
+        )
+        assert doc["regions"]
+
+    def test_heatmap_csv_export(self, capsys, tmp_path):
+        out = tmp_path / "heat.csv"
+        rc = main(["heatmap", "tmm", *self.TINY, "--variant", "ep",
+                   "--base-variant", "none", "--out", str(out)])
+        assert rc == 0
+        header = out.read_text().splitlines()[0]
+        assert header == "line,region,writes,stores,flushes"
+        assert "amp vs base" not in capsys.readouterr().out
+
+    def test_flame_writes_collapsed_stacks(self, capsys, tmp_path):
+        out = tmp_path / "lp.collapsed"
+        rc = main(["flame", "tmm", *self.TINY, "--out", str(out)])
+        assert rc == 0
+        assert "Stall attribution" in capsys.readouterr().out
+        for line in out.read_text().splitlines():
+            frames, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+            assert frames.startswith("tmm/lp;")
+
+
+class TestSmokeMode:
+    """REPRO_SMOKE=1 must make the obs commands runnable bare."""
+
+    def run_smoke(self, monkeypatch, argv):
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        return main(argv)
+
+    def test_trace_smoke(self, monkeypatch, tmp_path, capsys):
+        out = tmp_path / "t.trace.json"
+        rc = self.run_smoke(
+            monkeypatch, ["trace", "tmm", "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+
+    def test_heatmap_smoke(self, monkeypatch, capsys):
+        rc = self.run_smoke(monkeypatch, ["heatmap", "tmm"])
+        assert rc == 0
+        assert "write heatmap" in capsys.readouterr().out
+
+    def test_flame_smoke(self, monkeypatch, tmp_path, capsys):
+        out = tmp_path / "f.collapsed"
+        rc = self.run_smoke(
+            monkeypatch, ["flame", "tmm", "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+
+    def test_smoke_params_yield_to_explicit_ones(self, monkeypatch):
+        from repro.cli import _smoke_adjust
+
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        args = build_parser().parse_args(["heatmap", "tmm", "-p", "n=12"])
+        _smoke_adjust(args)
+        assert args.machine == "tiny"
+        # Last -p wins in _parse_params, so the user's n=12 overrides
+        # the smoke preset's n=8.
+        from repro.cli import _parse_params
+
+        assert _parse_params(args.param)["n"] == 12
+
+
 class TestCrashcheck:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["crashcheck"])
