@@ -20,17 +20,32 @@ Two numbers justify the semantics/timing split:
   >= 3x wall-clock (the PR's acceptance bar); smoke sizes assert a
   relaxed floor because tiny campaigns amortize less fixed cost.
 
+A third number locks in the pre-decoded op-stream interpreter
+(:mod:`repro.sim.opstream`): the ``stream`` forward mode replays the
+same run from a recorded integer-coded stream and must beat the
+generator replay loop by ``STREAM_SPEEDUP_FLOOR`` — and
+``test_throughput_ratchet`` additionally holds the absolute stream
+events/sec above a committed floor
+(``benchmarks/baselines/throughput_floor.json``), ratcheted the same
+way ``repro regress --update-baselines`` ratchets perf baselines (set
+``REPRO_UPDATE_FLOOR=1`` to raise it to the measured rate; it never
+lowers itself).  ``REPRO_FLOOR_SCALE`` multiplies the floor, which is
+how CI proves the ratchet actually trips.
+
 Timings here are real wall-clock, so the on-disk result cache is
 deliberately bypassed: both campaign legs run ``check_variant``
-directly.
+directly and streams are recorded in-process.
 """
 
+import json
+import os
 import time
 
 from repro.analysis.crashlab import crash_plans_for
 from repro.analysis.reporting import format_table
 from repro.sim.config import tiny_machine
 from repro.sim.machine import Machine
+from repro.sim.opstream import record_stream
 from repro.verify import EnumerationPlan, check_variant
 from repro.workloads.tmm import TiledMatMul
 
@@ -42,10 +57,31 @@ from bench_common import (
     record,
 )
 
-#: Forward modes: two timing models on the full machine, plus the
-#: cache-free replay machine (always functional timing).
-FORWARD_MODES = ("detailed", "functional", "replay")
+#: Forward modes: two timing models on the full machine, the cache-free
+#: replay machine (always functional timing), and the op-stream
+#: interpreter replaying a recorded stream on the same replay machine.
+FORWARD_MODES = ("detailed", "functional", "replay", "stream")
 FORWARD_WORKLOADS = ("tmm", "fft")
+
+#: The op-stream interpreter must beat the generator replay loop by
+#: this much on every forward workload.  Smoke streams are a few
+#: thousand ops, so fixed per-run overhead (plan lookup, stats
+#: writeback) amortizes far less; the full-size floor is the real bar.
+STREAM_SPEEDUP_FLOOR = 3.0 if SMOKE else 10.0
+
+#: Committed absolute floor for the ratchet job (see
+#: ``test_throughput_ratchet``).
+FLOOR_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "throughput_floor.json"
+)
+
+#: A ratchet update writes ``measured * RATCHET_MARGIN`` so normal
+#: machine-to-machine and CI-runner variance stays above the floor.
+#: Shared CI runners measure several times slower than a quiet dev
+#: machine, so the margin is deliberately generous: the floor's job is
+#: to catch the interpreter falling back toward generator-replay rates
+#: (a ~100x cliff), not to police single-digit percentages.
+RATCHET_MARGIN = 0.125
 
 #: Crashcheck campaign shape (kept modest: two full campaign legs run
 #: back-to-back, uncached).  Smoke halves everything again.
@@ -59,12 +95,46 @@ CAMPAIGN = (
 SPEEDUP_FLOOR = 1.3 if SMOKE else 3.0
 
 
+def _stream_throughput(workload, config, num_threads, runs=3):
+    """Warm events/sec of the op-stream interpreter for one LP run.
+
+    Records the stream once (an ordinary replay run), executes once to
+    build the memoized plan — the state a cached stream reaches after
+    its first use — then times ``runs`` executions on fresh machines
+    and keeps the best (timer noise only adds).
+    """
+    recorder = Machine(config, _replay=True)
+    bound = workload.bind(recorder, num_threads=num_threads)
+    stream, _ = record_stream(recorder, bound.threads("lp"))
+
+    def fresh():
+        machine = Machine(config, _replay=True)
+        return machine, workload.bind(machine, num_threads=num_threads)
+
+    warm, _ = fresh()
+    warm.run_stream(stream)
+
+    best = float("inf")
+    for _ in range(runs):
+        machine, rebound = fresh()
+        t0 = time.perf_counter()
+        result = machine.run_stream(stream)
+        best = min(best, time.perf_counter() - t0)
+        assert rebound.verify()
+    return result.ops_executed, best
+
+
 def forward_throughput():
     """Ops/second of one LP run per workload under each forward mode."""
     out = {}
     for name in FORWARD_WORKLOADS:
         for mode in FORWARD_MODES:
             workload = make_workload(name)
+            if mode == "stream":
+                out[(name, mode)] = _stream_throughput(
+                    workload, machine_config(), NUM_THREADS
+                )
+                continue
             if mode == "replay":
                 machine = Machine(machine_config(), _replay=True)
             else:
@@ -127,12 +197,18 @@ def test_sim_throughput(benchmark):
                 f"{rates['detailed'] / 1e3:.0f}k",
                 f"{rates['functional'] / 1e3:.0f}k",
                 f"{rates['replay'] / 1e3:.0f}k",
-                f"{rates['replay'] / rates['detailed']:.2f}x",
+                f"{rates['stream'] / 1e3:.0f}k",
+                f"{rates['stream'] / rates['replay']:.1f}x",
             ]
+        )
+        assert rates["stream"] >= STREAM_SPEEDUP_FLOOR * rates["replay"], (
+            f"{name}: stream interpreter {rates['stream']:.0f} ev/s is "
+            f"only {rates['stream'] / rates['replay']:.1f}x the generator "
+            f"replay loop (floor {STREAM_SPEEDUP_FLOOR}x)"
         )
     forward_table = format_table(
         ["workload", "detailed ops/s", "functional ops/s",
-         "replay ops/s", "replay speedup"],
+         "replay ops/s", "stream ops/s", "stream speedup"],
         rows,
         title="Forward simulation throughput (lp, wall-clock)",
     )
@@ -162,4 +238,60 @@ def test_sim_throughput(benchmark):
     assert speedup >= SPEEDUP_FLOOR, (
         f"crashcheck replay speedup {speedup:.2f}x below the "
         f"{SPEEDUP_FLOOR}x floor"
+    )
+
+
+# ----------------------------------------------------------------------
+# absolute throughput ratchet (the CI `throughput-ratchet` job)
+# ----------------------------------------------------------------------
+
+#: Fixed tiny preset: always this size, regardless of REPRO_SMOKE, so
+#: the committed floor means the same thing on every run of the job.
+RATCHET_PRESET = dict(n=24, bsize=8)
+RATCHET_THREADS = 2
+
+
+def ratchet_measurement():
+    """Warm stream events/sec on the fixed tiny preset (best of 5)."""
+    return _stream_throughput(
+        TiledMatMul(**RATCHET_PRESET),
+        tiny_machine(),
+        RATCHET_THREADS,
+        runs=5,
+    )
+
+
+def test_throughput_ratchet():
+    """The stream interpreter may only ever get faster.
+
+    Fails when measured events/sec on the fixed preset drops below the
+    committed floor.  ``REPRO_FLOOR_SCALE=<x>`` multiplies the floor
+    (CI uses a large scale to prove the job trips);
+    ``REPRO_UPDATE_FLOOR=1`` ratchets the committed floor up to
+    ``measured * RATCHET_MARGIN`` when that is higher — it never goes
+    down, mirroring ``repro regress --update-baselines``.
+    """
+    with open(FLOOR_PATH) as fh:
+        baseline = json.load(fh)
+    events, elapsed = ratchet_measurement()
+    rate = events / elapsed
+
+    if os.environ.get("REPRO_UPDATE_FLOOR", "") == "1":
+        candidate = int(rate * RATCHET_MARGIN)
+        if candidate > baseline["floor_events_per_sec"]:
+            baseline["floor_events_per_sec"] = candidate
+            baseline["measured_events_per_sec"] = int(rate)
+            baseline["events"] = events
+            with open(FLOOR_PATH, "w") as fh:
+                json.dump(baseline, fh, indent=2)
+                fh.write("\n")
+
+    floor = baseline["floor_events_per_sec"] * float(
+        os.environ.get("REPRO_FLOOR_SCALE", "1")
+    )
+    assert rate >= floor, (
+        f"stream throughput {rate:,.0f} events/sec fell below the "
+        f"committed floor {floor:,.0f} ({events} events in {elapsed:.4f}s); "
+        "a real regression must be fixed, a deliberate slowdown must "
+        "re-ratchet with REPRO_UPDATE_FLOOR=1"
     )

@@ -418,17 +418,142 @@ class ResultCache:
             raise
         self.stats.stores += 1
 
+    # -- binary sidecar blobs (pre-decoded op streams) -------------------
+
+    def _blob_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".npz")
+
+    def get_blob(self, key: str):
+        """The cached op stream for ``key``, or None on miss/corruption.
+
+        Same contract as :meth:`get`, for the ``.npz`` sidecar blobs
+        :func:`cached_op_stream` stores next to the JSON records: any
+        unreadable, malformed, or format-mismatched blob counts as a
+        corrupt miss and is deleted.
+        """
+        from repro.sim.opstream import load_stream
+
+        path = self._blob_path(key)
+        try:
+            stream = load_stream(path)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, OSError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return stream
+
+    def put_blob(self, key: str, stream) -> None:
+        """Atomically persist an op stream under ``key``."""
+        from repro.sim.opstream import save_stream
+
+        path = self._blob_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".npz"
+        )
+        os.close(fd)
+        try:
+            save_stream(stream, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
+        """Delete every cached entry (records and stream blobs);
+        returns how many were removed."""
         removed = 0
         if not os.path.isdir(self.root):
             return removed
         for dirpath, _, names in os.walk(self.root):
             for name in names:
-                if name.endswith(".json"):
+                if name.endswith(".json") or name.endswith(".npz"):
                     os.remove(os.path.join(dirpath, name))
                     removed += 1
         return removed
+
+
+def stream_cache_key(
+    workload: Workload,
+    config: MachineConfig,
+    variant: str,
+    num_threads: int,
+    engine: str,
+) -> str:
+    """Content-addressed identity of one forward point's op stream.
+
+    Same keying discipline as :meth:`Job.cache_key`: the full point
+    description plus :func:`code_version`, so editing the simulator or
+    a workload invalidates every stale stream, plus the stream format
+    version so layout changes can never misparse old blobs.
+    """
+    from repro.sim.opstream import STREAM_FORMAT_VERSION
+
+    payload = {
+        "kind": "opstream",
+        "workload": workload_spec(workload),
+        "config": config.cache_key(),
+        "variant": variant,
+        "num_threads": num_threads,
+        "engine": engine,
+        "code": code_version(),
+        "format": CACHE_FORMAT_VERSION,
+        "stream_format": STREAM_FORMAT_VERSION,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def cached_op_stream(
+    workload: Workload,
+    config: MachineConfig,
+    variant: str,
+    num_threads: int = 8,
+    engine: str = "modular",
+    cache: Optional[ResultCache] = None,
+):
+    """The pre-decoded op stream for one forward point: load it from
+    the cache, or record it once (one ordinary replay run) and store it.
+
+    Returns a :class:`repro.sim.opstream.OpStream` ready for
+    :meth:`Machine.run_stream <repro.sim.machine.Machine.run_stream>`.
+    Streams are only valid for value-deterministic forward runs —
+    workloads advertising ``stream_safe = False`` are refused —
+    and only encode the trigger-free replay schedule (crash and
+    recovery runs always take the generator paths).
+    """
+    from repro.sim.machine import Machine
+    from repro.sim.opstream import record_stream
+
+    if not workload.stream_safe:
+        raise ConfigError(
+            f"workload {workload.name!r} declares stream_safe=False; "
+            "its forward runs cannot be replayed from a recorded stream"
+        )
+    key = stream_cache_key(workload, config, variant, num_threads, engine)
+    if cache is not None:
+        stream = cache.get_blob(key)
+        if stream is not None:
+            return stream
+    machine = Machine(config, _replay=True)
+    bound = workload.bind(machine, num_threads=num_threads, engine=engine)
+    stream, _ = record_stream(machine, bound.threads(variant))
+    if cache is not None:
+        cache.put_blob(key, stream)
+    return stream
 
 
 def _execute_indexed(payload: Tuple[int, Job]) -> Tuple[int, ExperimentResult]:

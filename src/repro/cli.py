@@ -564,6 +564,23 @@ def _cmd_crashcheck(args) -> int:
         extra = len(report.counterexamples) - 3
         if extra > 0:
             print(f"  ... and {extra} more for {variant}")
+    if args.cex_out:
+        import json
+
+        os.makedirs(args.cex_out, exist_ok=True)
+        dumped = 0
+        for variant, report in reports.items():
+            for idx, cex in enumerate(report.counterexamples):
+                path = os.path.join(
+                    args.cex_out,
+                    f"{args.workload}-{variant}-cex{idx:03d}.json",
+                )
+                with open(path, "w") as fh:
+                    json.dump(cex.to_dict(), fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                dumped += 1
+        if dumped:
+            print(f"\n[{dumped} counterexample(s) written to {args.cex_out}]")
     if cache is not None and cache.stats.lookups:
         print(
             f"\n[cache: {cache.stats.hits}/{cache.stats.lookups} hits "
@@ -916,6 +933,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--nightly", action="store_true",
         help="deep sweep: every flush boundary, dense op grid, more "
         "samples",
+    )
+    p_cc.add_argument(
+        "--cex-out", default=None, metavar="DIR",
+        help="dump every counterexample as JSON into DIR (created if "
+        "missing); the nightly workflow uploads this as an artifact",
     )
     p_cc.add_argument("--cleaner-period", type=float, default=None)
     engine_flags(p_cc)

@@ -192,11 +192,24 @@ class BaselineStore:
     def case_ids(self) -> List[str]:
         if not os.path.isdir(self.root):
             return []
-        return sorted(
-            name[: -len(".json")]
-            for name in os.listdir(self.root)
-            if name.endswith(".json")
-        )
+        out = []
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.root, name), "r") as fh:
+                    data = json.load(fh)
+            except (OSError, ValueError):
+                # Unreadable files still surface as errors at load().
+                out.append(name[: -len(".json")])
+                continue
+            if isinstance(data, dict) and "schema" not in data:
+                # Not a baseline record: the directory also holds other
+                # committed gate artifacts (e.g. throughput_floor.json,
+                # the ratchet floor for the op-stream interpreter).
+                continue
+            out.append(name[: -len(".json")])
+        return out
 
     def load(self, case_id: str) -> Baseline:
         path = self.path(case_id)

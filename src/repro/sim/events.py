@@ -97,6 +97,17 @@ MemoryEvent = Union[
     FenceIssue,
 ]
 
+#: Terminal events — the ones the functional timing model charges its
+#: single cycle to (reserve-phase events are free).  This is the
+#: event-level statement of the one-cycle-per-op invariant; the op-level
+#: image is :data:`repro.sim.isa.COSTED_OPCODES` (each costed op emits
+#: exactly one of these), which is what lets the op-stream interpreter
+#: (:mod:`repro.sim.opstream`) reconstruct functional clocks without
+#: replaying the event stream at all.  Keep the two in sync.
+FUNCTIONAL_TICKS = frozenset(
+    {LoadCommit, StoreCommit, ComputeIssue, FlushCommit, FenceIssue}
+)
+
 #: Reusable instances of the field-less events (one per op is a lot of
 #: allocation churn in the hot loop for no information).
 STORE_RESERVE = StoreReserve()

@@ -98,3 +98,52 @@ class Barrier:
 Op = Union[
     Load, Store, Flush, FlushWB, Fence, Compute, RegionMark, Phase, Barrier
 ]
+
+
+# ----------------------------------------------------------------------
+# integer op encoding (the pre-decoded stream format)
+# ----------------------------------------------------------------------
+
+#: Integer opcodes for the flat pre-decoded op-stream format
+#: (:mod:`repro.sim.opstream`).  The numbering is part of the on-disk
+#: stream layout: reordering or renumbering it invalidates every cached
+#: stream, which is safe only because stream cache keys include
+#: :func:`repro.analysis.runner.code_version` (this file is in the
+#: versioned subtree), but keep the order stable anyway.
+OP_LOAD = 0
+OP_STORE = 1
+OP_COMPUTE = 2
+OP_FLUSH = 3
+OP_FLUSHWB = 4
+OP_FENCE = 5
+OP_MARK = 6
+OP_PHASE = 7
+OP_BARRIER = 8
+
+#: Op class -> opcode.  Covers the full vocabulary, including the
+#: scheduler-level Barrier (the stream records the scheduler's view).
+OPCODES = {
+    Load: OP_LOAD,
+    Store: OP_STORE,
+    Compute: OP_COMPUTE,
+    Flush: OP_FLUSH,
+    FlushWB: OP_FLUSHWB,
+    Fence: OP_FENCE,
+    RegionMark: OP_MARK,
+    Phase: OP_PHASE,
+    Barrier: OP_BARRIER,
+}
+
+#: Opcode -> op class (decode direction); index equals the opcode.
+OP_TYPES = (
+    Load, Store, Compute, Flush, FlushWB, Fence, RegionMark, Phase, Barrier
+)
+
+#: Opcodes that advance the issuing core's functional clock by one
+#: cycle.  RegionMark and Phase are free everywhere; Barrier costs no
+#: cycles itself (the release synchronises clocks instead).  This is
+#: the same invariant the replay fast loop inlines — the stream
+#: interpreter and ``Machine._run_replay`` must agree on it.
+COSTED_OPCODES = frozenset(
+    {OP_LOAD, OP_STORE, OP_COMPUTE, OP_FLUSH, OP_FLUSHWB, OP_FENCE}
+)

@@ -19,6 +19,7 @@ import heapq
 import random
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Generator,
@@ -51,6 +52,9 @@ from repro.sim.persist import CrashStateSpace, PersistOrderTracker
 from repro.sim.stats import CoreStats, MachineStats
 from repro.sim.timing import CoreTiming, make_timing_model
 from repro.sim.valuestore import MemoryState
+
+if TYPE_CHECKING:  # runtime import stays lazy (opstream imports us back)
+    from repro.sim.opstream import OpStream
 
 ThreadGen = Generator[Op, Optional[float], None]
 
@@ -488,6 +492,21 @@ class Machine:
             total_threads=len(gens),
             flush_ops=flush_ops,
         )
+
+    def run_stream(self, stream: "OpStream") -> RunResult:
+        """Interpret a pre-decoded op stream (see :mod:`repro.sim.opstream`).
+
+        The third execution tier: heap scheduler (general), generator
+        fast loop (:meth:`_run_replay`), and this — a table-driven
+        interpreter over integer-coded op arrays, for replay runs whose
+        op sequence was recorded once and cached.  Bit-identical to
+        running the original coroutines on this machine; valid only on
+        a fresh, trigger-free replay machine (enforced by the
+        interpreter).
+        """
+        from repro.sim.opstream import execute_stream
+
+        return execute_stream(self, stream)
 
     # ------------------------------------------------------------------
     # persistence / crash

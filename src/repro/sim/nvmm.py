@@ -19,6 +19,13 @@ The MC is the semantics layer's persistence point; the queue/pipe
 pluggable :class:`~repro.sim.timing.MCTiming` view — the detailed view
 reproduces the Table II behaviour, the functional view accepts and
 completes instantly.
+
+Replay machines bypass the MC entirely: their hierarchy
+(:class:`~repro.sim.coherence.ReplayHierarchy`) persists lines
+directly, so replay runs — generator loop and op-stream interpreter
+alike (:mod:`repro.sim.opstream`) — never count ``nvmm_writes``.  The
+stream interpreter preserves that by construction (it touches no MC
+state at all), which is part of the bit-identical-counters contract.
 """
 
 from __future__ import annotations

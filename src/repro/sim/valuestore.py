@@ -71,6 +71,20 @@ class MemoryState:
             if addr in self.arch:
                 self.persistent[addr] = self.arch[addr]
 
+    def apply_updates(
+        self, arch: Dict[int, Value], persistent: Dict[int, Value]
+    ) -> None:
+        """Bulk-merge pre-computed value updates into both views.
+
+        Writeback path of the op-stream interpreter
+        (:mod:`repro.sim.opstream`), which evolves dense array copies of
+        the two maps and merges the result back in one call.  Addresses
+        absent from the updates are untouched — the interpreter's dense
+        space covers exactly the addresses its stream can modify.
+        """
+        self.arch.update(arch)
+        self.persistent.update(persistent)
+
     def persisted(self, addr: int, default: Optional[Value] = None) -> Value:
         """The NVMM-image value, or ``default`` if provided."""
         self._check(addr)

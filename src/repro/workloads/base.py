@@ -132,6 +132,16 @@ class Workload(ABC):
     #: performance sweeps (``variants``): fault-injection targets the
     #: crash checker must flag (e.g. tmm's ``ep_nofence``).
     broken_variants: Tuple[str, ...] = ()
+    #: Whether this workload's forward runs are value-deterministic per
+    #: (workload, config, variant, threads) — the contract that lets
+    #: the analysis layer record one replay run as a pre-decoded op
+    #: stream (:mod:`repro.sim.opstream`) and reuse it for every later
+    #: run of the same point.  All registry workloads are (their only
+    #: randomness is the seeded input matrix, part of the spec); a
+    #: workload whose op sequence depends on loaded values in a
+    #: non-reproducible way must set this False to stay off the stream
+    #: cache (``repro.analysis.runner.cached_op_stream`` refuses it).
+    stream_safe: bool = True
 
     @abstractmethod
     def bind(

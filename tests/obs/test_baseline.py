@@ -130,6 +130,25 @@ class TestStore:
         with pytest.raises(ConfigError):
             BaselineStore(str(tmp_path)).load("bad")
 
+    def test_case_ids_skips_non_baseline_artifacts(
+        self, small_baseline, tmp_path
+    ):
+        # benchmarks/baselines/ also carries other committed gate
+        # artifacts (the op-stream throughput floor); a JSON object
+        # with no "schema" key is not a baseline and must not be
+        # swept into `repro regress`.
+        store = BaselineStore(str(tmp_path))
+        store.save(small_baseline)
+        (tmp_path / "throughput_floor.json").write_text(
+            '{"floor_events_per_sec": 1}\n'
+        )
+        assert store.case_ids() == ["tmm-lp-small"]
+        # Unreadable files are still listed so load() errors loudly.
+        (tmp_path / "truncated.json").write_text("{")
+        assert store.case_ids() == ["tmm-lp-small", "truncated"]
+        with pytest.raises(ConfigError):
+            store.load("truncated")
+
 
 class TestComparison:
     def test_identical_rerun_passes(self, small_baseline):

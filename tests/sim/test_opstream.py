@@ -1,0 +1,196 @@
+"""Op-stream format pins: encode/decode round-trips and the cache.
+
+The pre-decoded stream format (:mod:`repro.sim.opstream`) is only safe
+if encoding is lossless: ``decode(encode(ops))`` must reproduce the
+recorded ``(core_id, op)`` sequence exactly, for every registry
+workload x variant x seed (hypothesis-driven below).  The on-disk
+``.npz`` form and the content-addressed stream cache get the same
+treatment: corrupt or version-mismatched blobs must read as misses,
+never as wrong streams.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.runner import ResultCache, cached_op_stream
+from repro.errors import ConfigError
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.opstream import (
+    STREAM_FORMAT_VERSION,
+    encode_ops,
+    load_stream,
+    record_stream,
+    save_stream,
+)
+from repro.workloads.registry import get_workload
+
+#: Tiny but structurally complete sizes: every variant still runs its
+#: full code path (regions, checksums, recovery metadata, barriers).
+TINY_SPECS = {
+    "tmm": dict(n=16, bsize=8),
+    "cholesky": dict(n=16, col_block=8),
+    "conv2d": dict(n=10, ksize=3, row_block=4),
+    "gauss": dict(n=16, row_block=8, pivots=2),
+    "fft": dict(n=64),
+}
+
+#: Every registry (workload, performance-variant) pair.
+POINTS = [
+    (name, variant)
+    for name in TINY_SPECS
+    for variant in get_workload(name)(**TINY_SPECS[name]).variants
+]
+
+
+def make_workload(name, seed):
+    return get_workload(name)(**TINY_SPECS[name], seed=seed)
+
+
+def replay_machine(num_threads):
+    return Machine(MachineConfig(num_cores=num_threads + 1), _replay=True)
+
+
+def record_raw(workload, variant, num_threads):
+    """The raw ``(core_id, op)`` execution order, recorded with a local
+    proxy (independent of record_stream's internals)."""
+    machine = replay_machine(num_threads)
+    bound = workload.bind(machine, num_threads=num_threads)
+    sink = []
+
+    def proxy(cid, gen):
+        result = None
+        while True:
+            try:
+                op = gen.send(result)
+            except StopIteration:
+                return
+            sink.append((cid, op))
+            result = yield op
+
+    machine.run(
+        [proxy(cid, g) for cid, g in enumerate(bound.threads(variant))]
+    )
+    return sink
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    point=st.sampled_from(POINTS),
+    seed=st.integers(min_value=0, max_value=7),
+    num_threads=st.sampled_from([1, 2, 4]),
+)
+def test_decode_encode_round_trip(point, seed, num_threads):
+    """decode(encode(ops)) is the identity on every recorded run."""
+    name, variant = point
+    workload = make_workload(name, seed)
+    machine = replay_machine(num_threads)
+    bound = workload.bind(machine, num_threads=num_threads)
+    stream, _ = record_stream(machine, bound.threads(variant))
+
+    ops = stream.decode()
+    assert ops == record_raw(make_workload(name, seed), variant, num_threads)
+
+    restream = encode_ops(ops, stream.num_threads)
+    for field in ("code", "cid", "addr", "value", "aux"):
+        assert np.array_equal(
+            getattr(stream, field), getattr(restream, field)
+        ), field
+    assert stream.labels == restream.labels
+    assert restream.decode() == ops
+
+
+def test_save_load_round_trip(tmp_path):
+    workload = make_workload("tmm", 3)
+    machine = replay_machine(2)
+    bound = workload.bind(machine, num_threads=2)
+    stream, _ = record_stream(machine, bound.threads("lp"))
+
+    path = str(tmp_path / "stream.npz")
+    save_stream(stream, path)
+    loaded = load_stream(path)
+    assert loaded.num_threads == stream.num_threads
+    assert loaded.labels == stream.labels
+    for field in ("code", "cid", "addr", "value", "aux"):
+        assert np.array_equal(getattr(stream, field), getattr(loaded, field))
+    assert loaded.decode() == stream.decode()
+
+
+def test_load_rejects_version_mismatch(tmp_path):
+    workload = make_workload("tmm", 0)
+    machine = replay_machine(1)
+    bound = workload.bind(machine, num_threads=1)
+    stream, _ = record_stream(machine, bound.threads("base"))
+    path = str(tmp_path / "stream.npz")
+    save_stream(stream, path)
+    with np.load(path, allow_pickle=False) as data:
+        arrays = dict(data)
+    arrays["format"] = np.int64(STREAM_FORMAT_VERSION + 1)
+    np.savez_compressed(path, **arrays)
+    with pytest.raises(ValueError):
+        load_stream(path)
+
+
+def test_record_refuses_full_machine():
+    workload = make_workload("tmm", 0)
+    machine = Machine(MachineConfig(num_cores=2))  # not a replay machine
+    bound = workload.bind(machine, num_threads=1)
+    with pytest.raises(ConfigError):
+        record_stream(machine, bound.threads("base"))
+
+
+def test_execute_refuses_used_machine():
+    workload = make_workload("tmm", 0)
+    machine = replay_machine(1)
+    bound = workload.bind(machine, num_threads=1)
+    stream, _ = record_stream(machine, bound.threads("base"))
+    # the recording machine already ran — streams need a fresh one
+    with pytest.raises(ConfigError):
+        machine.run_stream(stream)
+
+
+def test_execute_refuses_too_few_cores():
+    workload = make_workload("tmm", 0)
+    machine = replay_machine(2)
+    bound = workload.bind(machine, num_threads=2)
+    stream, _ = record_stream(machine, bound.threads("base"))
+    small = Machine(MachineConfig(num_cores=1), _replay=True)
+    with pytest.raises(ConfigError):
+        small.run_stream(stream)
+
+
+def test_cached_op_stream_hits_and_survives_corruption(tmp_path):
+    workload = make_workload("tmm", 1)
+    config = MachineConfig(num_cores=3)
+    cache = ResultCache(str(tmp_path))
+
+    first = cached_op_stream(workload, config, "lp", num_threads=2,
+                             cache=cache)
+    assert cache.stats.misses == 1 and cache.stats.stores == 1
+    again = cached_op_stream(workload, config, "lp", num_threads=2,
+                             cache=cache)
+    assert cache.stats.hits == 1
+    assert np.array_equal(first.code, again.code)
+    assert first.decode() == again.decode()
+
+    # Corrupt the blob in place: next lookup is a miss + re-record.
+    from repro.analysis.runner import stream_cache_key
+
+    key = stream_cache_key(workload, config, "lp", 2, "modular")
+    with open(cache._blob_path(key), "wb") as fh:
+        fh.write(b"not an npz")
+    refreshed = cached_op_stream(workload, config, "lp", num_threads=2,
+                                 cache=cache)
+    assert cache.stats.corrupt == 1
+    assert np.array_equal(first.code, refreshed.code)
+
+
+def test_cached_op_stream_refuses_stream_unsafe_workloads(tmp_path):
+    workload = make_workload("tmm", 0)
+    workload.stream_safe = False
+    with pytest.raises(ConfigError):
+        cached_op_stream(
+            workload, MachineConfig(num_cores=2), "base", num_threads=1,
+            cache=ResultCache(str(tmp_path)),
+        )

@@ -1,0 +1,112 @@
+"""Bit-identical pins for the op-stream interpreter.
+
+The third execution tier (:meth:`Machine.run_stream
+<repro.sim.machine.Machine.run_stream>` over a recorded
+:mod:`repro.sim.opstream` stream) must be indistinguishable from
+driving the original coroutines through the generator replay loop —
+which is itself pinned against the general heap scheduler by
+``test_timing_equivalence.py``.  For every registry workload x
+base/lp/ep this compares, exactly:
+
+* final architectural and persistent memory maps,
+* every per-core :class:`CoreStats` field and every core clock,
+* the :class:`MachineStats` summary (so ``nvmm_writes`` et al. stay
+  zero on both replay paths),
+* every :class:`RunResult` field.
+
+Also pinned: the recording run itself is an unmodified replay run, and
+re-executing a stream (memoized plan/init) changes nothing.
+"""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.opstream import record_stream
+from repro.workloads.registry import get_workload
+
+SPECS = {
+    "tmm": dict(n=24, bsize=8),
+    "cholesky": dict(n=24, col_block=8),
+    "conv2d": dict(n=18, ksize=3, row_block=8),
+    "gauss": dict(n=24, row_block=8, pivots=4),
+    "fft": dict(n=256),
+}
+VARIANTS = ("base", "lp", "ep")
+NUM_THREADS = 4
+CONFIG = MachineConfig(num_cores=NUM_THREADS + 1)
+
+RESULT_FIELDS = (
+    "crashed",
+    "ops_executed",
+    "region_marks",
+    "finished_threads",
+    "total_threads",
+    "flush_ops",
+)
+
+
+def bound_point(name):
+    machine = Machine(CONFIG, _replay=True)
+    bound = get_workload(name)(**SPECS[name]).bind(
+        machine, num_threads=NUM_THREADS
+    )
+    return machine, bound
+
+
+def assert_machines_identical(m_stream, m_gen, r_stream, r_gen):
+    assert m_stream.mem.arch == m_gen.mem.arch
+    assert m_stream.mem.persistent == m_gen.mem.persistent
+    assert r_stream.stats.summary() == r_gen.stats.summary()
+    for cid in range(len(m_gen.stats.per_core)):
+        assert vars(r_stream.stats.per_core[cid]) == vars(
+            r_gen.stats.per_core[cid]
+        ), f"core {cid} stats"
+        assert m_stream.cores[cid].clock == m_gen.cores[cid].clock, (
+            f"core {cid} clock"
+        )
+    for field in RESULT_FIELDS:
+        assert getattr(r_stream, field) == getattr(r_gen, field), field
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_stream_matches_generator_replay(name, variant):
+    m_rec, b_rec = bound_point(name)
+    stream, r_rec = record_stream(m_rec, b_rec.threads(variant))
+
+    m_gen, b_gen = bound_point(name)
+    r_gen = m_gen.run(b_gen.threads(variant))
+    assert b_gen.verify()
+
+    m_stream, b_stream = bound_point(name)
+    r_stream = m_stream.run_stream(stream)
+    assert b_stream.verify()
+
+    assert_machines_identical(m_stream, m_gen, r_stream, r_gen)
+    # the recording pass is itself an unmodified replay run
+    assert_machines_identical(m_rec, m_gen, r_rec, r_gen)
+
+
+def test_reexecution_is_stable():
+    """A stream's memoized plan/init must not leak state between runs."""
+    m_rec, b_rec = bound_point("tmm")
+    stream, _ = record_stream(m_rec, b_rec.threads("lp"))
+
+    m1, _ = bound_point("tmm")
+    r1 = m1.run_stream(stream)
+    m2, _ = bound_point("tmm")
+    r2 = m2.run_stream(stream)
+
+    assert_machines_identical(m2, m1, r2, r1)
+
+
+def test_wal_variant_streams_exactly():
+    """tmm's WAL variant (undo logging, extra flush traffic) too."""
+    m_rec, b_rec = bound_point("tmm")
+    stream, _ = record_stream(m_rec, b_rec.threads("wal"))
+    m_gen, b_gen = bound_point("tmm")
+    r_gen = m_gen.run(b_gen.threads("wal"))
+    m_stream, _ = bound_point("tmm")
+    r_stream = m_stream.run_stream(stream)
+    assert_machines_identical(m_stream, m_gen, r_stream, r_gen)
