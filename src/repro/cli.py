@@ -34,6 +34,12 @@ from repro.sim.config import (
     scaled_machine,
     tiny_machine,
 )
+from repro.sim.model import (
+    DEFAULT_MODEL,
+    enumerable_model_names,
+    get_model,
+    model_names,
+)
 from repro.sim.timing import TIMING_MODELS
 from repro.workloads import available_workloads, get_workload
 
@@ -111,6 +117,9 @@ def _machine(args) -> MachineConfig:
     timing = getattr(args, "timing", None)
     if timing is not None and timing != cfg.timing:
         cfg = cfg.with_timing(timing)
+    model = getattr(args, "model", DEFAULT_MODEL)
+    if model != DEFAULT_MODEL:
+        cfg = cfg.with_model(model)
     return cfg
 
 
@@ -473,12 +482,32 @@ def _cmd_crashcheck(args) -> int:
     }
     workload = cls(**params)
     config = _machine(args)
+    active_model = get_model(config.resolved_model)
+    if not active_model.enumerable:
+        print(
+            f"error: crash-state enumeration is not available under the "
+            f"{active_model.name!r} persistency model "
+            f"({active_model.summary}).\n"
+            f"Models that support `repro crashcheck`: "
+            f"{', '.join(enumerable_model_names())}.",
+            file=sys.stderr,
+        )
+        return 2
     if args.variants:
         variants = args.variants.split(",")
     else:
         variants = [v for v in cls.variants if v != "base"]
-        variants += list(cls.broken_variants)
-    broken = set(cls.broken_variants)
+        # Broken variants encode flush/fence-discipline bugs; under a
+        # model whose stores are durable at once (eADR, strict) they
+        # are genuinely sound, so "must be flagged" would be a false
+        # expectation — leave them out of the default list there.
+        if not active_model.persist_on_store:
+            variants += list(cls.broken_variants)
+    broken = (
+        set()
+        if active_model.persist_on_store
+        else set(cls.broken_variants)
+    )
 
     op_points, max_flush, max_events, samples = (
         args.points,
@@ -586,6 +615,115 @@ def _cmd_crashcheck(args) -> int:
             f"\n[cache: {cache.stats.hits}/{cache.stats.lookups} hits "
             f"({cache.root})]"
         )
+    return 0 if ok_overall else 1
+
+
+def _cmd_litmus(args) -> int:
+    """Cross-check the crash-state enumerator against each persistency
+    model's declarative spec on a generated litmus corpus.
+
+    Exit code 0 when every checked model behaves as expected: sound
+    models produce exactly the spec's allowed image set on every
+    program, and deliberately broken models (``broken=True`` in the
+    registry) are flagged with at least one divergence.  ``--as-sound``
+    drops the broken-model expectation inversion — every divergence
+    then fails the run, which is how CI proves the harness actually
+    catches the broken model (the command must exit 1).
+    """
+    import json
+
+    from repro.verify.litmus import (
+        DivergenceReport,
+        check_model,
+        generate_programs,
+        replay_divergence,
+    )
+
+    if args.replay:
+        with open(args.replay) as fh:
+            report = DivergenceReport.from_dict(json.load(fh))
+        result = replay_divergence(report)
+        print(f"model:   {report.model} (spec: {report.spec})")
+        print(f"program: {result.program.pretty()}")
+        print(f"spec allows {len(result.spec_set)} image(s), "
+              f"enumerator produced {len(result.run.sim_images)}")
+        for key in result.missing:
+            print(f"  missing from enumerator: {key}")
+        for key in result.extra:
+            print(f"  forbidden by spec:       {key}")
+        print("verdict: " + ("still diverges" if not result.ok else "agrees"))
+        return 0 if not result.ok else 1
+
+    if args.models:
+        models = args.models.split(",")
+    else:
+        models = enumerable_model_names()
+    for name in models:
+        get_model(name)  # fail fast on typos, before minutes of work
+
+    programs = generate_programs(
+        threads=args.threads,
+        max_ops=args.max_ops,
+        num_vars=args.vars,
+        limit=args.limit,
+    )
+    print(
+        f"litmus corpus: {len(programs)} programs "
+        f"({args.threads} threads x <= {args.max_ops} ops, "
+        f"{args.vars} vars)"
+    )
+
+    rows = []
+    ok_overall = True
+    all_reports = []
+    for name in models:
+        verdict = check_model(name, programs)
+        broken = verdict.broken and not args.as_sound
+        if broken:
+            expected = "divergence" if verdict.ok else "MISSED BUG"
+            model_ok = verdict.ok
+        else:
+            model_ok = verdict.divergent == 0
+            expected = "pass" if model_ok else "FAIL"
+        ok_overall &= model_ok
+        rows.append(
+            [
+                name,
+                get_model(name).spec,
+                verdict.programs_checked,
+                verdict.divergent,
+                "yes" if verdict.broken else "no",
+                expected,
+            ]
+        )
+        all_reports.extend(verdict.reports)
+    print(
+        format_table(
+            ["model", "spec", "programs", "divergent", "broken", "verdict"],
+            rows,
+            title="persistency-model litmus cross-check",
+        )
+    )
+    for report in all_reports[:3]:
+        shrunk = report.shrunk
+        print(
+            f"\n  {report.model}: {shrunk['name']} -> "
+            f"missing={len(report.missing)} extra={len(report.extra)}"
+        )
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for idx, report in enumerate(all_reports):
+            path = os.path.join(
+                args.out, f"litmus-{report.model}-div{idx:03d}.json"
+            )
+            with open(path, "w") as fh:
+                json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        if all_reports:
+            print(
+                f"\n[{len(all_reports)} divergence report(s) written "
+                f"to {args.out}]"
+            )
     return 0 if ok_overall else 1
 
 
@@ -721,9 +859,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--engine", default="modular")
         timing_flag(p)
+        model_flag(p)
         p.add_argument(
             "-p", "--param", action="append", metavar="KEY=VALUE",
             help="workload parameter (repeatable), e.g. -p n=48",
+        )
+
+    def model_flag(p):
+        p.add_argument(
+            "--model", choices=model_names(), default=DEFAULT_MODEL,
+            help="persistency model (default: adr — the paper's "
+            "platform; eadr puts the caches in the persistence domain, "
+            "strict writes every store through, epoch orders but never "
+            "commits, pre_adr is the pcommit-era completion-timed "
+            "platform; eadr_nofence is deliberately broken for harness "
+            "validation)",
         )
 
     def timing_flag(p):
@@ -891,6 +1041,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cc.add_argument("--engine", default="modular")
     timing_flag(p_cc)
+    model_flag(p_cc)
     p_cc.add_argument(
         "--full-recovery", action="store_true",
         help="verify each image with a full-machine recovery run "
@@ -942,6 +1093,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_cc.add_argument("--cleaner-period", type=float, default=None)
     engine_flags(p_cc)
 
+    p_litmus = sub.add_parser(
+        "litmus",
+        help="cross-check the crash-state enumerator against each "
+        "persistency model's declarative spec on generated litmus "
+        "programs",
+    )
+    p_litmus.add_argument(
+        "--models", default=None, metavar="M,M,...",
+        help="comma-separated persistency models (default: every "
+        "enumerable model, including deliberately broken variants)",
+    )
+    p_litmus.add_argument(
+        "--threads", type=int, default=2,
+        help="threads per generated program (default 2)",
+    )
+    p_litmus.add_argument(
+        "--max-ops", type=int, default=4, metavar="N",
+        help="ops per generated thread (default 4)",
+    )
+    p_litmus.add_argument(
+        "--vars", type=int, default=2, metavar="N",
+        help="variables (one cache line each, max 4; default 2)",
+    )
+    p_litmus.add_argument(
+        "--limit", type=int, default=48, metavar="N",
+        help="corpus size: curated classics plus an evenly-strided "
+        "slice of the systematic program space (default 48)",
+    )
+    p_litmus.add_argument(
+        "--as-sound", action="store_true",
+        help="hold broken models to the sound-model expectation (any "
+        "divergence exits 1) — CI uses this to prove the harness "
+        "flags them",
+    )
+    p_litmus.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="dump shrunk divergence reports as JSON into DIR",
+    )
+    p_litmus.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="replay one divergence-report JSON and re-judge it "
+        "(exit 0 if it still diverges)",
+    )
+
     p_sweep = sub.add_parser("sweep", help="parameter sweeps")
     p_sweep.add_argument(
         "kind", choices=["checksum", "latency", "threads", "cleaner"]
@@ -982,6 +1177,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "crash": _cmd_crash,
         "crashcheck": _cmd_crashcheck,
+        "litmus": _cmd_litmus,
         "sweep": _cmd_sweep,
         "idempotence": _cmd_idempotence,
         "reproduce": _cmd_reproduce,

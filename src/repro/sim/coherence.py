@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Protocol, Set, Tuple
 from repro.sim.address import line_of
 from repro.sim.cache import Cache, Line, State
 from repro.sim.config import MachineConfig
+from repro.sim.model import get_model
 from repro.sim.nvmm import MemoryController
 from repro.sim.stats import MachineStats
 from repro.sim.timing import HierarchyTiming
@@ -101,6 +102,10 @@ class Hierarchy:
                 flush_transit_cycles=config.flush_transit_cycles,
             )
         )
+        #: Persistency model: gates the flush path (eADR-class models
+        #: make clflushopt/clwb no-ops) and the write-through store
+        #: path (strict persistency).
+        self.model = get_model(config.resolved_model)
         self.l1s: List[Cache] = [
             Cache(config.l1, name=f"L1[{i}]") for i in range(config.num_cores)
         ]
@@ -181,8 +186,28 @@ class Hierarchy:
 
         The returned latency is the cost of the *drain* (acquiring
         ownership and writing the L1), which the core charges to its
-        store buffer, not to the main pipeline.
+        store buffer, not to the main pipeline.  Under strict
+        persistency every store additionally writes its line through to
+        the MC and the drain absorbs that queue backpressure — the
+        model's per-store traffic cost.
         """
+        access = self._store_coherent(core_id, addr, value, now)
+        if self.model.store_writes:
+            line_addr = line_of(addr)
+            accept, _ = self.mc.accept_write_timed(
+                line_addr, now, "store", now, core_id
+            )
+            # Written through: the cached copy is no longer dirty.
+            line = self.l1s[core_id].get(line_addr)
+            if line is not None and line.state is State.MODIFIED:
+                line.state = State.EXCLUSIVE
+                line.dirty_since = None
+            access.extra_latency += max(0.0, accept - now)
+        return access
+
+    def _store_coherent(
+        self, core_id: int, addr: int, value: float, now: float
+    ) -> Access:
         self.mem.store(addr, value)
         line_addr = line_of(addr)
         l1 = self.l1s[core_id]
@@ -249,7 +274,15 @@ class Hierarchy:
         nothing was dirty).  ``core_id`` names the core whose fence
         orders this flush (persist-order tracking); hardware-initiated
         writebacks (cleaner, drain) pass None and are durable at once.
+
+        Persistency models without a flush path (eADR-class: the data
+        was durable at store time) make program-issued flushes complete
+        instantly with no cache-state or MC effect; hardware writebacks
+        (cleaner, drain, eviction) still persist normally — caches have
+        finite capacity on every platform.
         """
+        if cause == "flush" and not self.model.flush_writes:
+            return False, now
         dirty_since: Optional[float] = None
         dirty = False
 

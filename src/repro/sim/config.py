@@ -14,6 +14,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 
 from repro.errors import ConfigError
+from repro.sim.model import DEFAULT_MODEL, PERSISTENCY_MODELS, get_model
 
 #: Cache line size in bytes.  Fixed at 64B throughout the paper.
 LINE_BYTES = 64
@@ -148,6 +149,12 @@ class MachineConfig:
     #: -state campaigns run on.  Part of :meth:`cache_key`, so results
     #: from different models never alias in the experiment cache.
     timing: str = "detailed"
+    #: Persistency model (see :mod:`repro.sim.model`): who owns the
+    #: persistence domain and what flush/fence mean.  ``"adr"`` is the
+    #: paper's platform and the default every pre-existing artifact ran
+    #: under; :meth:`cache_key` omits the field at its default so those
+    #: artifacts stay byte-identical.
+    model: str = DEFAULT_MODEL
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
@@ -158,6 +165,24 @@ class MachineConfig:
             raise ConfigError(
                 f"unknown timing model {self.timing!r}; "
                 "expected 'detailed' or 'functional'"
+            )
+        if self.model not in PERSISTENCY_MODELS:
+            raise ConfigError(
+                f"unknown persistency model {self.model!r}; "
+                f"available: {', '.join(PERSISTENCY_MODELS)}"
+            )
+        # nvmm.adr=False predates the model axis and means exactly the
+        # pre-ADR platform.  Forbid contradictory combinations; the
+        # resolved_model property folds the legacy flag in.
+        if self.model == "pre_adr" and self.nvmm.adr:
+            raise ConfigError(
+                "model='pre_adr' requires nvmm.adr=False "
+                "(use MachineConfig.with_model to set both)"
+            )
+        if not self.nvmm.adr and self.model not in ("adr", "pre_adr"):
+            raise ConfigError(
+                f"nvmm.adr=False (the pre-ADR platform) contradicts "
+                f"model={self.model!r}"
             )
 
     def with_l2_size(self, size_bytes: int) -> "MachineConfig":
@@ -195,6 +220,34 @@ class MachineConfig:
         """Return a copy running under a different timing model."""
         return replace(self, timing=timing)
 
+    def with_model(self, model: str) -> "MachineConfig":
+        """Return a copy running under a different persistency model.
+
+        Keeps the legacy ``nvmm.adr`` flag consistent: the pre-ADR
+        platform is the one model where durability waits for device
+        completion (MC undo records), and that is what ``adr=False``
+        has always meant.
+        """
+        m = get_model(model)
+        return replace(
+            self,
+            model=model,
+            nvmm=replace(self.nvmm, adr=not m.mc_undo),
+        )
+
+    @property
+    def resolved_model(self) -> str:
+        """The persistency model actually in effect.
+
+        Folds the legacy ``nvmm.adr=False`` spelling (which predates
+        the model axis) into the model namespace: an explicit
+        ``adr=False`` with the default model means the pre-ADR
+        platform.
+        """
+        if not self.nvmm.adr and self.model == "adr":
+            return "pre_adr"
+        return self.model
+
     def cache_key(self) -> str:
         """Canonical serialization of every timing-relevant field.
 
@@ -204,8 +257,16 @@ class MachineConfig:
         (see :mod:`repro.analysis.runner`).  Keys are sorted and floats
         rendered by ``repr`` so the encoding is stable across processes
         and Python versions.
+
+        ``model`` is omitted at its default ("adr") so every artifact
+        hashed before the model axis existed keeps its key — the same
+        omit-when-default discipline the runner applies to
+        ``obs_interval`` and ``provenance``.
         """
-        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+        payload = asdict(self)
+        if payload["model"] == DEFAULT_MODEL:
+            del payload["model"]
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def paper_machine(num_cores: int = 9) -> MachineConfig:

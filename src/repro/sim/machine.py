@@ -47,6 +47,7 @@ from repro.sim.isa import (
     RegionMark,
     Store,
 )
+from repro.sim.model import enumerable_model_names, get_model
 from repro.sim.nvmm import MemoryController
 from repro.sim.persist import CrashStateSpace, PersistOrderTracker
 from repro.sim.stats import CoreStats, MachineStats
@@ -132,12 +133,20 @@ class Machine:
             config,
             self.stats.ledger,
         )
-        #: Persist-order recorder for crash-state enumeration.  Only
-        #: meaningful under ADR; the pre-ADR platform's durability is
-        #: completion-timed and handled by the MC undo records.
+        #: Persistency model in effect (see :mod:`repro.sim.model`);
+        #: resolved_model folds the legacy nvmm.adr=False spelling in.
+        self.pmodel = get_model(config.resolved_model)
+        #: eADR-class models persist at store time; the flag lives on
+        #: the value store so every execution tier (heap scheduler,
+        #: replay loop, op-stream interpreter) inherits it through the
+        #: one store entry point.
+        self.mem.persist_on_store = self.pmodel.persist_on_store
+        #: Persist-order recorder for crash-state enumeration.  Absent
+        #: on models whose durability is completion-timed (pre-ADR: MC
+        #: undo records govern instead) and on replay machines.
         self.persist_tracker = (
-            PersistOrderTracker(self.mem, adr=True)
-            if config.nvmm.adr and not _replay
+            PersistOrderTracker(self.mem, self.pmodel.name)
+            if self.pmodel.enumerable and not _replay
             else None
         )
         self.mc = MemoryController(
@@ -146,6 +155,7 @@ class Machine:
             self.stats,
             self.persist_tracker,
             timing=self.timing.mc_view(),
+            model=self.pmodel,
         )
         self.hierarchy: MemorySystem = (
             ReplayHierarchy(self.mem, self.mc)
@@ -541,8 +551,10 @@ class Machine:
             )
         if self.persist_tracker is None:
             raise ConfigError(
-                "crash-state enumeration requires an ADR machine "
-                "(config.nvmm.adr=True)"
+                f"crash-state enumeration is not defined for the "
+                f"{self.pmodel.name!r} persistency model. Models that "
+                f"support enumeration: "
+                f"{', '.join(enumerable_model_names())}"
             )
         crash_time = max(c.clock for c in self.cores)
         return self.persist_tracker.snapshot(

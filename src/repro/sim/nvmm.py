@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.sim.address import element_addrs_of_line
 from repro.sim.config import NVMMConfig
+from repro.sim.model import PersistencyModel, get_model
 from repro.sim.persist import PersistOrderTracker
 from repro.sim.stats import MachineStats
 from repro.sim.timing import DetailedMCTiming, MCTiming
@@ -60,6 +61,7 @@ class MemoryController:
         stats: MachineStats,
         tracker: Optional[PersistOrderTracker] = None,
         timing: Optional[MCTiming] = None,
+        model: Optional[PersistencyModel] = None,
     ) -> None:
         self.config = config
         self.mem = mem
@@ -71,7 +73,14 @@ class MemoryController:
         self.timing = (
             timing if timing is not None else DetailedMCTiming(config)
         )
-        #: Non-ADR only: rollback records for in-flight writes.
+        #: Persistency model; directly constructed MCs (tests) derive
+        #: it from the legacy adr flag: True -> ADR, False -> pre-ADR.
+        self.model = (
+            model
+            if model is not None
+            else get_model("adr" if config.adr else "pre_adr")
+        )
+        #: pre-ADR only: rollback records for in-flight writes.
         self._undo: List[_UndoRecord] = []
 
     # -- reads --------------------------------------------------------------
@@ -125,7 +134,7 @@ class MemoryController:
         """
         accept_time, completion = self.timing.write(now)
 
-        if not self.config.adr:
+        if self.model.mc_undo:
             # pre-ADR: the data is not safe until the device finishes;
             # remember how to undo it if a crash lands in between.
             prior = {
@@ -140,7 +149,7 @@ class MemoryController:
             self.tracker.on_accept(line_addr, cause, core_id, accept_time)
         self.mem.persist_line(line_addr)
         self.stats.count_write(cause, line_addr=line_addr)
-        durable_time = accept_time if self.config.adr else completion
+        durable_time = completion if self.model.mc_undo else accept_time
         if dirty_since is not None:
             self.stats.record_volatility(durable_time - dirty_since)
         return accept_time, durable_time
@@ -150,11 +159,12 @@ class MemoryController:
     def discard_in_flight(self, crash_time: float) -> int:
         """Roll back writes not yet durable at ``crash_time``.
 
-        A no-op under ADR.  Returns the number of lines rolled back.
-        Records are undone newest-first so overlapping writes to the
-        same line restore the oldest surviving values.
+        A no-op on every model except pre-ADR.  Returns the number of
+        lines rolled back.  Records are undone newest-first so
+        overlapping writes to the same line restore the oldest
+        surviving values.
         """
-        if self.config.adr:
+        if not self.model.mc_undo:
             return 0
         lost = [r for r in self._undo if r.completion > crash_time]
         for record in sorted(lost, key=lambda r: r.completion, reverse=True):

@@ -590,6 +590,17 @@ def execute_stream(machine: "Machine", stream: OpStream) -> "RunResult":
         arch_values[seg_idx] = store_value[done:]
         arch_present[seg_idx] = True
 
+    if machine.mem.persist_on_store:
+        # eADR-class models: every store was durable the instant it
+        # executed, so each stored address's final persistent value is
+        # its final architectural value.  Fancy assignment is last-wins
+        # in position order, so one bulk pass lands exactly what the
+        # incremental replay loop's per-store persists produce (the
+        # interleaved flush copies above are then redundant for stored
+        # addresses, as they are in the replay loop).
+        pers_values[store_dense] = store_value
+        pers_present[store_dense] = True
+
     machine.mem.apply_updates(
         _as_map(plan.uniq_addrs, arch_values, arch_present),
         _as_map(plan.uniq_addrs, pers_values, pers_present),

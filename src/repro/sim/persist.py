@@ -32,10 +32,22 @@ reconstruct that set exactly:
 
 :class:`CrashStateSpace` is the crash-time snapshot consumed by
 :mod:`repro.verify` to enumerate and check every reachable image.
-Tracking is ADR-only: with ``adr=False`` durability is governed by
-device completion times and the in-flight undo machinery in
-:mod:`repro.sim.nvmm`, so :meth:`PersistOrderTracker.snapshot` refuses
-to run (``ConfigError``).
+
+The rules above are ADR's; the tracker is parameterised by a
+:class:`~repro.sim.model.PersistencyModel` that bends them per model:
+
+* eADR-class models (``persist_on_store``) have no reorderable window
+  at all — every store is durable, so the space collapses to the
+  single full-architectural image;
+* epoch persistency (``epoch_edges``) turns fences into *ordering*
+  marks instead of commits: accepted flushes stay pending forever, but
+  a flush from a core's epoch N+1 can only persist if every flush from
+  its epoch N did (extra cross-line edges);
+* the pre-ADR platform is not enumerable — durability is governed by
+  device completion times and the in-flight undo machinery in
+  :mod:`repro.sim.nvmm` — so :meth:`PersistOrderTracker.snapshot`
+  refuses to run (``ConfigError`` naming the models that do support
+  enumeration).
 """
 
 from __future__ import annotations
@@ -45,6 +57,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.address import element_addrs_of_line
+from repro.sim.model import enumerable_model_names, get_model
 from repro.sim.valuestore import MemoryState
 
 #: Event kinds.
@@ -164,12 +177,32 @@ class PersistOrderTracker:
     the crash snapshot from the cache hierarchy.
     """
 
-    def __init__(self, mem: MemoryState, adr: bool) -> None:
+    def __init__(
+        self,
+        mem: MemoryState,
+        model: str = "adr",
+        *,
+        adr: Optional[bool] = None,
+    ) -> None:
+        # ``adr=`` predates the model axis: adr=True is the default ADR
+        # platform, adr=False the pre-ADR one.  Kept so existing
+        # constructions keep meaning what they always did.
+        if adr is not None:
+            model = "adr" if adr else "pre_adr"
         self.mem = mem
-        self.adr = adr
+        self.model = get_model(model)
         self._next_eid = 0
         #: Pending flush events, in acceptance order.
         self._pending: List[PersistEvent] = []
+        #: eid -> issuing core's epoch counter at accept (epoch models).
+        self._epoch_of: Dict[int, int] = {}
+        #: Per-core epoch counter, bumped by each retired fence.
+        self._core_epoch: Dict[int, int] = {}
+
+    @property
+    def adr(self) -> bool:
+        """Legacy view: True unless this is the pre-ADR platform."""
+        return not self.model.mc_undo
 
     # -- hooks ------------------------------------------------------------
 
@@ -182,6 +215,12 @@ class PersistOrderTracker:
     ) -> None:
         """Called by the MC *before* it copies the line's data into the
         persistent image."""
+        if self.model.persist_on_store:
+            # Caches are inside the persistence domain: the data this
+            # write carries was durable the moment it was stored, so
+            # there is never a reorderable window to track.
+            self._absorb_line(line_addr)
+            return
         if cause == "flush" and core_id is not None:
             prior = {
                 addr: self.mem.persistent.get(addr)
@@ -203,6 +242,10 @@ class PersistOrderTracker:
                     prior=prior,
                 )
             )
+            if self.model.epoch_edges:
+                self._epoch_of[self._next_eid] = self._core_epoch.get(
+                    core_id, 0
+                )
             self._next_eid += 1
             return
         # Evictions, the cleaner, and drains are hardware writebacks the
@@ -211,12 +254,43 @@ class PersistOrderTracker:
         self._absorb_line(line_addr)
 
     def on_fence(self, core_id: int, now: float) -> None:
-        """An sfence retired on ``core_id``: its accepted flushes are
-        now ordered into the persistence domain — durable for sure."""
+        """An sfence retired on ``core_id``.
+
+        Under ADR it orders that core's accepted flushes into the
+        persistence domain — durable for sure.  Under epoch persistency
+        it only closes the core's current epoch: pending flushes stay
+        reorderable, but later epochs' persists will be constrained to
+        come after them (see :meth:`snapshot`).  Broken no-fence
+        variants ignore it entirely.
+        """
+        if self.model.epoch_edges:
+            self._core_epoch[core_id] = self._core_epoch.get(core_id, 0) + 1
+            return
+        if not self.model.fence_commits:
+            return
+        committed = [
+            ev
+            for ev in self._pending
+            if ev.core_id == core_id and ev.time <= now
+        ]
+        if not committed:
+            return
+        # A committed flush's line durably holds its data, so an *older*
+        # pending flush of the same line (e.g. another core's, before
+        # ownership migrated) can never be observed any more — absorb
+        # it, or the snapshot floor would wrongly undo the committed
+        # values on its behalf.  Newer pending flushes of the line stay:
+        # their prior values are the committed ones, which is exactly
+        # what undoing them restores.
+        committed_eids = {ev.eid for ev in committed}
+        newest_committed: Dict[int, int] = {}
+        for ev in committed:
+            newest_committed[ev.line_addr] = ev.eid
         self._pending = [
             ev
             for ev in self._pending
-            if not (ev.core_id == core_id and ev.time <= now)
+            if ev.eid not in committed_eids
+            and ev.eid > newest_committed.get(ev.line_addr, -1)
         ]
 
     def _absorb_line(self, line_addr: int) -> None:
@@ -245,11 +319,23 @@ class PersistOrderTracker:
         crash instant; their *current architectural* values are what a
         last-moment hardware writeback would have persisted.
         """
-        if not self.adr:
+        if not self.model.enumerable:
             raise ConfigError(
-                "crash-state enumeration requires ADR (adr=True); the "
-                "pre-ADR platform's durability is completion-timed and "
-                "is modelled by the MC undo records instead"
+                f"crash-state enumeration is not defined for the "
+                f"{self.model.name!r} persistency model: its durability "
+                f"is completion-timed (MC undo records), not "
+                f"order-ideal-shaped. Models that support enumeration: "
+                f"{', '.join(enumerable_model_names())}"
+            )
+        if self.model.persist_on_store:
+            # Every store was durable the instant it executed: the
+            # persistent image *is* the architectural state and there
+            # is exactly one reachable crash image.
+            return CrashStateSpace(
+                floor=dict(self.mem.persistent),
+                events=[],
+                edges=[],
+                crash_time=crash_time,
             )
         # Floor: the persistent image with every pending (unfenced)
         # flush undone, newest-first so overlapping flushes restore the
@@ -293,6 +379,29 @@ class PersistOrderTracker:
             if chain:
                 edges.append((chain[-1].eid, ev.eid))
             chain.append(ev)
+
+        if self.model.epoch_edges:
+            # Epoch persistency: within one core, a flush from epoch
+            # N+1 can only persist if every flush from the core's
+            # previous non-empty epoch did.  Adjacent non-empty epochs
+            # get the complete bipartite edge set; transitivity covers
+            # the rest.  Dirty-line writebacks are hardware-initiated
+            # and stay unordered (beyond same-line chains).
+            seen = {(a, b) for a, b in edges}
+            by_core: Dict[int, Dict[int, List[PersistEvent]]] = {}
+            for ev in events:
+                if ev.kind != KIND_FLUSH or ev.core_id is None:
+                    continue
+                epochs = by_core.setdefault(ev.core_id, {})
+                epochs.setdefault(self._epoch_of.get(ev.eid, 0), []).append(ev)
+            for epochs in by_core.values():
+                ordered = [epochs[e] for e in sorted(epochs)]
+                for older, newer in zip(ordered, ordered[1:]):
+                    for before in older:
+                        for after in newer:
+                            if (before.eid, after.eid) not in seen:
+                                seen.add((before.eid, after.eid))
+                                edges.append((before.eid, after.eid))
 
         return CrashStateSpace(
             floor=floor,

@@ -32,6 +32,14 @@ class MemoryState:
     def __init__(self) -> None:
         self.arch: Dict[int, Value] = {}
         self.persistent: Dict[int, Value] = {}
+        #: Stores are durable the instant they execute (eADR-class
+        #: persistency models, where the caches sit inside the
+        #: persistence domain).  Set by the Machine from its
+        #: :class:`~repro.sim.model.PersistencyModel`; placing the
+        #: branch here makes every execution tier — heap scheduler,
+        #: replay loop, op-stream interpreter — inherit it through the
+        #: one store entry point.
+        self.persist_on_store = False
 
     # -- program-visible accesses ----------------------------------------
 
@@ -47,9 +55,12 @@ class MemoryState:
             raise AddressError(f"load from unwritten address {addr:#x}") from None
 
     def store(self, addr: int, value: Value) -> None:
-        """Architectural store (volatile until a line writeback)."""
+        """Architectural store (volatile until a line writeback, unless
+        the persistency model puts the caches in the domain)."""
         self._check(addr)
         self.arch[addr] = value
+        if self.persist_on_store:
+            self.persistent[addr] = value
 
     # -- initialisation ---------------------------------------------------
 

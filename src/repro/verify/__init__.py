@@ -8,6 +8,13 @@ enumerates its order ideals (each one a reachable image),
 :mod:`repro.verify.enumerate` materializes and deduplicates the images,
 and :mod:`repro.verify.checker` runs recovery on each and shrinks any
 failure to a minimal replayable counterexample.
+
+:mod:`repro.verify.litmus` closes the loop on the enumerator itself:
+generated store/flush/fence litmus programs are run under every
+pluggable persistency model (:mod:`repro.sim.model`) and the
+enumerator's reachable-image set is cross-checked against a
+declarative per-model spec, with shrunk JSON-replayable divergence
+reports.
 """
 
 from repro.verify.checker import (
@@ -34,6 +41,19 @@ from repro.verify.graph import (
     sample_ideals,
     topo_order,
 )
+from repro.verify.litmus import (
+    DivergenceReport,
+    LitmusOp,
+    LitmusProgram,
+    LitmusResult,
+    ModelVerdict,
+    check_model,
+    check_program,
+    generate_programs,
+    replay_divergence,
+    shrink_program,
+    spec_images,
+)
 
 __all__ = [
     "Counterexample",
@@ -54,4 +74,15 @@ __all__ = [
     "iter_ideals",
     "sample_ideals",
     "topo_order",
+    "DivergenceReport",
+    "LitmusOp",
+    "LitmusProgram",
+    "LitmusResult",
+    "ModelVerdict",
+    "check_model",
+    "check_program",
+    "generate_programs",
+    "replay_divergence",
+    "shrink_program",
+    "spec_images",
 ]

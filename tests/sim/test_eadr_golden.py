@@ -1,0 +1,79 @@
+"""Golden pins for the eADR persistency model (satellite of the model
+matrix PR).
+
+Under eADR the caches sit inside the persistence domain, so:
+
+* every variant — base (no persistency code), LP, EP — leaves the
+  *same* NVMM end-state: the verified architectural output, durable
+  without a single flush;
+* flush instructions are timing and traffic no-ops, so EP's per-flush
+  cost disappears: fewer NVMM writes, no flush-cause writes at all,
+  and a shorter execution than the same code under ADR.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads.registry import get_workload
+
+SPEC = dict(n=16, bsize=8)
+NUM_THREADS = 2
+
+
+def run_variant(variant, model):
+    config = MachineConfig(num_cores=NUM_THREADS + 1).with_model(model)
+    machine = Machine(config)
+    bound = get_workload("tmm")(**SPEC).bind(machine, num_threads=NUM_THREADS)
+    result = machine.run(bound.threads(variant))
+    return machine, bound, result
+
+
+class TestEadrEndState:
+    @pytest.mark.parametrize("variant", ("base", "lp", "ep"))
+    def test_output_is_durable_without_flushes(self, variant):
+        machine, bound, result = run_variant(variant, "eadr")
+        assert not result.crashed
+        assert bound.verify()
+        # the persistent image already holds the verified output —
+        # no drain, no flush discipline required
+        assert bound.verify(persistent=True)
+
+    def test_all_variants_persist_the_same_image(self):
+        outputs = {}
+        for variant in ("base", "lp", "ep"):
+            _, bound, _ = run_variant(variant, "eadr")
+            outputs[variant] = bound.output(persistent=True)
+        assert np.array_equal(outputs["base"], outputs["lp"])
+        assert np.array_equal(outputs["base"], outputs["ep"])
+
+    def test_base_is_not_durable_under_adr(self):
+        """The contrast pin: the same base run under ADR leaves the
+        output volatile (modulo incidental evictions)."""
+        machine, bound, _ = run_variant("base", "adr")
+        assert bound.verify()
+        assert not np.array_equal(
+            bound.output(persistent=True), bound.output()
+        )
+
+
+class TestEadrFlushCost:
+    def test_flush_cause_writes_vanish(self):
+        m_adr, _, _ = run_variant("ep", "adr")
+        m_eadr, _, _ = run_variant("ep", "eadr")
+        assert m_adr.stats.writes_by_cause.get("flush", 0) > 0
+        assert m_eadr.stats.writes_by_cause.get("flush", 0) == 0
+
+    def test_nvmm_writes_and_cycles_drop(self):
+        _, _, r_adr = run_variant("ep", "adr")
+        _, _, r_eadr = run_variant("ep", "eadr")
+        assert r_eadr.nvmm_writes < r_adr.nvmm_writes
+        assert r_eadr.exec_cycles < r_adr.exec_cycles
+
+    def test_lp_checksum_overhead_remains(self):
+        """eADR removes persistency traffic, not LP's checksum compute:
+        LP still executes more ops than base."""
+        _, _, r_base = run_variant("base", "eadr")
+        _, _, r_lp = run_variant("lp", "eadr")
+        assert r_lp.ops_executed > r_base.ops_executed

@@ -370,3 +370,107 @@ class TestCrashcheck:
         )
         assert rc == 1
         assert "MISSED BUG" in capsys.readouterr().out
+
+
+class TestModelFlag:
+    def test_defaults_to_adr_everywhere(self):
+        for argv in (
+            ["run", "tmm"],
+            ["compare", "tmm"],
+            ["sweep", "checksum", "tmm"],
+            ["crashcheck"],
+        ):
+            assert build_parser().parse_args(argv).model == "adr"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "tmm", "--model", "bogus"])
+
+    def test_run_under_eadr(self, capsys):
+        rc = main(["run", "tmm", "--threads", "2", "-p", "n=16",
+                   "--model", "eadr"])
+        assert rc == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_crashcheck_refuses_non_enumerable_model(self, capsys):
+        """Satellite: the bare non-ADR error is now a clear message
+        listing the enumeration-capable models, not a traceback."""
+        rc = main(
+            ["crashcheck", "--workload", "tmm", "--model", "pre_adr",
+             "--no-cache"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "'pre_adr'" in err
+        assert "Models that support `repro crashcheck`" in err
+        for name in ("adr", "eadr", "strict", "epoch"):
+            assert name in err
+
+    def test_crashcheck_excludes_fence_bug_variants_under_eadr(self, capsys):
+        """Broken variants encode flush/fence-discipline bugs; under a
+        store-durable model they are genuinely sound, so the default
+        campaign must not expect them to be flagged."""
+        rc = main(
+            ["crashcheck", "--workload", "tmm", "--model", "eadr",
+             "--points", "1", "--max-flush-points", "2", "--max-events", "8",
+             "--samples", "4", "--no-cache"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ep_nofence" not in out
+        assert "MISSED BUG" not in out
+
+    def test_crashcheck_runs_under_eadr(self, capsys):
+        rc = main(
+            ["crashcheck", "--workload", "tmm", "--variants", "lp",
+             "--model", "eadr", "--points", "2", "--max-flush-points", "2",
+             "--max-events", "8", "--samples", "4", "--no-cache"]
+        )
+        assert rc == 0
+        assert "pass" in capsys.readouterr().out
+
+
+class TestLitmus:
+    SMALL = ["--limit", "8", "--max-ops", "2", "--threads", "1"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["litmus"])
+        assert args.models is None
+        assert args.threads == 2
+        assert args.max_ops == 4
+        assert args.vars == 2
+        assert args.limit == 48
+        assert args.as_sound is False
+        assert args.out is None
+        assert args.replay is None
+
+    def test_sound_and_broken_expectations(self, capsys):
+        rc = main(["litmus", "--models", "adr,eadr_nofence", *self.SMALL])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "litmus corpus" in out
+        assert "divergence" in out  # the broken model's expected verdict
+
+    def test_unknown_model_fails_fast(self, capsys):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="bogus"):
+            main(["litmus", "--models", "bogus", *self.SMALL])
+
+    def test_as_sound_flags_the_broken_model(self, capsys, tmp_path):
+        rc = main(["litmus", "--models", "eadr_nofence", "--as-sound",
+                   "--out", str(tmp_path), *self.SMALL])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        reports = sorted(tmp_path.glob("litmus-eadr_nofence-div*.json"))
+        assert reports
+
+    def test_replay_round_trips(self, capsys, tmp_path):
+        assert main(["litmus", "--models", "eadr_nofence", "--as-sound",
+                     "--out", str(tmp_path), *self.SMALL]) == 1
+        report = sorted(tmp_path.glob("*.json"))[0]
+        capsys.readouterr()
+        rc = main(["litmus", "--replay", str(report)])
+        assert rc == 0  # still diverges: the report is faithful
+        assert "still diverges" in capsys.readouterr().out

@@ -1,0 +1,216 @@
+"""Tests for the litmus harness (repro.verify.litmus).
+
+The harness cross-checks the crash-state enumerator against
+declarative per-model specs; these tests pin the corpus generator's
+determinism, the per-model image sets on the classic shapes, the
+broken-model detection path (shrinking, JSON round-trip, replay), and
+the harness's own guard rails.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.verify.litmus import (
+    KIND_FENCE,
+    KIND_FLUSH,
+    KIND_STORE,
+    MAX_EVENTS,
+    DivergenceReport,
+    LitmusOp,
+    LitmusProgram,
+    check_model,
+    check_program,
+    divergence_report,
+    generate_programs,
+    replay_divergence,
+    run_program,
+    shrink_program,
+    spec_images,
+)
+
+ST0 = LitmusOp(KIND_STORE, 0, 101.0)
+FL0 = LitmusOp(KIND_FLUSH, 0)
+FENCE = LitmusOp(KIND_FENCE)
+
+
+def program(*threads, num_vars=1, name="t"):
+    return LitmusProgram(
+        name=name, threads=tuple(tuple(t) for t in threads), num_vars=num_vars
+    )
+
+
+class TestPrograms:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            program(num_vars=1)  # no threads
+        with pytest.raises(ConfigError):
+            program([ST0], num_vars=0)
+        with pytest.raises(ConfigError):
+            program([LitmusOp("load", 0)], num_vars=1)
+        with pytest.raises(ConfigError):
+            program([LitmusOp(KIND_STORE, 3, 1.0)], num_vars=2)
+
+    def test_fence_is_var_exempt(self):
+        p = program([ST0, FENCE], num_vars=1)
+        assert p.num_ops == 2
+
+    def test_pretty(self):
+        p = program([ST0, FL0, FENCE], [ST0], num_vars=1)
+        assert p.pretty() == "st x0; fl x0; fence || st x0"
+
+    def test_dict_round_trip(self):
+        p = program([ST0, FL0, FENCE], [ST0], num_vars=1, name="rt")
+        assert LitmusProgram.from_dict(p.to_dict()) == p
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = generate_programs(threads=2, max_ops=3, num_vars=2, limit=24)
+        b = generate_programs(threads=2, max_ops=3, num_vars=2, limit=24)
+        assert a == b
+        assert len(a) == 24
+
+    def test_classics_lead_the_corpus(self):
+        names = [p.name for p in generate_programs(limit=48)]
+        for classic in (
+            "classic_publish",
+            "classic_unfenced",
+            "classic_chain",
+            "classic_cross_core",
+            "classic_epochs",
+            "classic_dirty",
+        ):
+            assert classic in names
+
+    def test_var_ceiling(self):
+        with pytest.raises(ConfigError, match="4 variables"):
+            generate_programs(num_vars=5)
+
+    def test_distinct_store_values(self):
+        for p in generate_programs(threads=2, max_ops=4, limit=32):
+            values = [
+                op.value
+                for ops in p.threads
+                for op in ops
+                if op.kind == KIND_STORE
+            ]
+            assert len(values) == len(set(values)), p.name
+
+
+class TestRunProgram:
+    def test_unfenced_flush_is_reorderable_under_adr(self):
+        run = run_program(program([ST0, FL0], name="unfenced"), "adr")
+        assert run.sim_images == {(0.0,), (101.0,)}
+
+    def test_fenced_flush_is_durable_under_adr(self):
+        run = run_program(program([ST0, FL0, FENCE], name="fenced"), "adr")
+        assert run.sim_images == {(101.0,)}
+
+    def test_eadr_sees_exactly_the_final_state(self):
+        run = run_program(program([ST0], name="bare"), "eadr")
+        assert run.sim_images == {(101.0,)}
+        assert run.num_events == 0
+
+    def test_trace_records_global_order(self):
+        run = run_program(program([ST0, FL0, FENCE], name="tr"), "adr")
+        assert run.trace == [
+            (0, KIND_STORE, 0, 101.0),
+            (0, KIND_FLUSH, 0, 0.0),
+            (0, KIND_FENCE, 0, 0.0),
+        ]
+
+    def test_event_ceiling_enforced(self):
+        big = program(
+            [
+                op
+                for i in range(MAX_EVENTS + 1)
+                for op in (LitmusOp(KIND_STORE, 0, float(i + 1)), FL0)
+            ],
+            name="big",
+        )
+        with pytest.raises(ConfigError, match="persist events"):
+            run_program(big, "adr")
+
+
+class TestSpecs:
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigError, match="no litmus spec"):
+            spec_images(program([ST0], name="x"), "bogus", [])
+
+    def test_adr_spec_matches_enumerator_on_classics(self):
+        for p in generate_programs(limit=6):  # exactly the classics
+            assert check_program(p, "adr").ok, p.name
+
+    @pytest.mark.parametrize("model", ("eadr", "strict", "epoch"))
+    def test_other_sound_models_match_on_classics(self, model):
+        for p in generate_programs(limit=6):
+            assert check_program(p, model).ok, p.name
+
+    def test_epoch_spec_orders_but_never_commits(self):
+        # st x0; fl x0; fence; st x1; fl x1 — ADR commits epoch 1;
+        # epoch persistency only orders it before epoch 2.
+        p = program(
+            [ST0, FL0, FENCE, LitmusOp(KIND_STORE, 1, 102.0),
+             LitmusOp(KIND_FLUSH, 1)],
+            num_vars=2,
+            name="epochs",
+        )
+        adr = check_program(p, "adr")
+        epoch = check_program(p, "epoch")
+        assert adr.ok and epoch.ok
+        # ADR: x0 committed, x1 uncertain
+        assert adr.run.sim_images == {(101.0, 0.0), (101.0, 102.0)}
+        # epoch: nothing committed, but x1 requires x0
+        assert epoch.run.sim_images == {
+            (0.0, 0.0),
+            (101.0, 0.0),
+            (101.0, 102.0),
+        }
+
+
+class TestBrokenModel:
+    def test_divergence_found_and_shrunk(self):
+        result = check_program(program([ST0], name="bare"), "eadr_nofence")
+        assert not result.ok
+        # the claimed (eADR) spec says 101.0 persisted; the volatile
+        # implementation still allows the 0.0 image
+        assert (0.0,) in result.extra
+        small = shrink_program(result.program, "eadr_nofence")
+        assert small.num_ops <= result.program.num_ops
+        assert not check_program(small, "eadr_nofence").ok
+
+    def test_report_round_trip_replays(self):
+        result = check_program(
+            program([ST0, FL0, FENCE], name="fenced"), "eadr_nofence"
+        )
+        assert not result.ok
+        report = divergence_report(result)
+        assert report.model == "eadr_nofence"
+        assert report.spec == "eadr"
+        revived = DivergenceReport.from_dict(report.to_dict())
+        assert revived == report
+        assert not replay_divergence(revived).ok
+
+
+class TestCheckModel:
+    CORPUS = generate_programs(threads=2, max_ops=3, num_vars=2, limit=12)
+
+    @pytest.mark.parametrize("model", ("adr", "eadr", "strict", "epoch"))
+    def test_sound_models_pass(self, model):
+        verdict = check_model(model, self.CORPUS)
+        assert verdict.ok
+        assert verdict.divergent == 0
+        assert verdict.programs_checked == len(self.CORPUS)
+
+    def test_broken_model_is_flagged(self):
+        verdict = check_model("eadr_nofence", self.CORPUS, max_reports=2)
+        assert verdict.broken
+        assert verdict.divergent > 0
+        assert verdict.ok  # broken + divergent = the harness worked
+        assert 0 < len(verdict.reports) <= 2
+        for report in verdict.reports:
+            assert not replay_divergence(report).ok
+
+    def test_non_enumerable_model_rejected(self):
+        with pytest.raises(ConfigError, match="enumeration"):
+            check_model("pre_adr", self.CORPUS)
