@@ -50,6 +50,7 @@ CACHE_FORMAT_VERSION = 1
 _VERSIONED_SUBTREES = (
     "sim",
     "core",
+    "schemes",
     "workloads",
     "verify",
     "analysis/experiments.py",

@@ -27,6 +27,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.runner import ResultCache
 from repro.analysis import sweep as sweeps
 from repro.core.checksum import available_engines
+from repro.schemes import get_scheme, scheme_names
 from repro.sim.config import (
     MachineConfig,
     paper_machine,
@@ -59,6 +60,8 @@ _CRASHCHECK_PARAMS: Dict[str, Dict[str, object]] = {
     "gauss": {"n": 8, "row_block": 4},
     "cholesky": {"n": 8, "col_block": 4},
     "conv2d": {"n": 8, "row_block": 2},
+    "log": {"records": 6, "width": 2, "wb_batch": 2},
+    "hashmap": {"capacity": 8, "ops": 6, "keys": 3, "wb_batch": 2},
 }
 
 
@@ -140,6 +143,56 @@ def _cmd_list(args) -> int:
         cls = get_workload(name)
         rows.append([name, ", ".join(cls.variants)])
     print(format_table(["workload", "variants"], rows, title="Workloads"))
+    print()
+    # Workload x scheme support grid.  "crashcheck" marks cells that
+    # `repro crashcheck` covers: sound schemes must pass on every
+    # reachable image; deliberately broken ones must be flagged with a
+    # counterexample.
+    grid = []
+    for name in available_workloads():
+        cls = get_workload(name)
+        for scheme_name in scheme_names():
+            scheme = get_scheme(scheme_name)
+            if scheme_name in cls.variants:
+                supported = "yes"
+            elif scheme_name in cls.broken_variants:
+                supported = "broken (fault model)"
+            else:
+                continue
+            checkable = scheme.sound or scheme_name in cls.broken_variants
+            grid.append(
+                [
+                    name,
+                    scheme_name,
+                    supported,
+                    "crashcheck" if checkable else "-",
+                ]
+            )
+    print(
+        format_table(
+            ["workload", "scheme", "support", "crash testing"],
+            grid,
+            title="Persistency schemes per workload",
+        )
+    )
+    print()
+    model_rows = []
+    for model_name in model_names():
+        model = get_model(model_name)
+        model_rows.append(
+            [
+                model_name + (" (default)" if model_name == DEFAULT_MODEL else ""),
+                "yes" if model.enumerable else "-",
+                model.summary,
+            ]
+        )
+    print(
+        format_table(
+            ["model", "crashcheck", "summary"],
+            model_rows,
+            title="Persistency models",
+        )
+    )
     print()
     print(
         format_table(
@@ -496,7 +549,13 @@ def _cmd_crashcheck(args) -> int:
     if args.variants:
         variants = args.variants.split(",")
     else:
-        variants = [v for v in cls.variants if v != "base"]
+        # Only schemes with a persist protocol are worth checking:
+        # ``base`` (and any other scheme declared unsound by design)
+        # makes no durability promise, so "recovers from any crash"
+        # would be a vacuous expectation.
+        variants = [
+            v for v in cls.variants if get_scheme(v).sound
+        ]
         # Broken variants encode flush/fence-discipline bugs; under a
         # model whose stores are durable at once (eADR, strict) they
         # are genuinely sound, so "must be flagged" would be a false
@@ -909,7 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one variant and print metrics")
     common(p_run)
-    p_run.add_argument("--variant", default="lp")
+    p_run.add_argument("--variant", default="lp", choices=scheme_names())
     p_run.add_argument("--cleaner-period", type=float, default=None)
     p_run.add_argument("--drain", action="store_true")
     obs_flag(p_run)
@@ -927,7 +986,7 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="record a run and export a Perfetto/Chrome trace"
     )
     common(p_trace, machine_default=None)
-    p_trace.add_argument("--variant", default="lp")
+    p_trace.add_argument("--variant", default="lp", choices=scheme_names())
     p_trace.add_argument("--cleaner-period", type=float, default=None)
     p_trace.add_argument(
         "--out", default=None, metavar="FILE",
@@ -943,7 +1002,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-line/per-region NVMM write heatmap (wear + coalescing)",
     )
     common(p_heatmap, machine_default=None)
-    p_heatmap.add_argument("--variant", default="lp")
+    p_heatmap.add_argument("--variant", default="lp", choices=scheme_names())
     p_heatmap.add_argument(
         "--base-variant", default="base", metavar="VARIANT",
         help="non-persistent reference for per-region write "
@@ -965,7 +1024,7 @@ def build_parser() -> argparse.ArgumentParser:
         "output for speedscope/inferno",
     )
     common(p_flame, machine_default=None)
-    p_flame.add_argument("--variant", default="lp")
+    p_flame.add_argument("--variant", default="lp", choices=scheme_names())
     p_flame.add_argument("--cleaner-period", type=float, default=None)
     p_flame.add_argument(
         "--top", type=int, default=15, metavar="K",

@@ -117,6 +117,13 @@ def _suite() -> Tuple[BaselineCase, ...]:
         "gauss": (("n", 24), ("row_block", 4)),
         "cholesky": (("n", 24), ("col_block", 4)),
         "conv2d": (("n", 16), ("row_block", 2)),
+        "log": (("records", 32), ("width", 4), ("wb_batch", 8)),
+        "hashmap": (
+            ("capacity", 16),
+            ("ops", 64),
+            ("keys", 4),
+            ("wb_batch", 8),
+        ),
     }
     cases = []
     for workload, params in sizes.items():

@@ -33,11 +33,13 @@ from repro.core.eager import persist_region, writeback_addrs
 from repro.core.lazy import LPRuntime
 from repro.core.region import RegionChecksum
 from repro.workloads.arrays import PMatrix
+from repro.schemes import (
+    SCHEME_BASE as VARIANT_BASE,
+    SCHEME_EP as VARIANT_EP,
+    SCHEME_LP as VARIANT_LP,
+)
 from repro.workloads.base import (
     BoundWorkload,
-    VARIANT_BASE,
-    VARIANT_EP,
-    VARIANT_LP,
     Workload,
     integer_matrix,
 )

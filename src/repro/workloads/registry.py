@@ -42,3 +42,4 @@ def _ensure_loaded() -> None:
     import repro.workloads.conv2d  # noqa: F401
     import repro.workloads.gauss  # noqa: F401
     import repro.workloads.fft  # noqa: F401
+    import repro.workloads.storage  # noqa: F401

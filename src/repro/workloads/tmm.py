@@ -56,12 +56,15 @@ from repro.core.lazy import LPRuntime
 from repro.core.region import RegionChecksum
 from repro.core.wal import WriteAheadLog
 from repro.workloads.arrays import PMatrix
+from repro.schemes import (
+    SCHEME_BASE as VARIANT_BASE,
+    SCHEME_EP as VARIANT_EP,
+    SCHEME_EP_NOFENCE,
+    SCHEME_LP as VARIANT_LP,
+    SCHEME_WAL as VARIANT_WAL,
+)
 from repro.workloads.base import (
     BoundWorkload,
-    VARIANT_BASE,
-    VARIANT_EP,
-    VARIANT_LP,
-    VARIANT_WAL,
     Workload,
     integer_matrix,
 )
@@ -78,7 +81,9 @@ CHECKSUM_ORGS = ("table", "embedded")
 #: recovery produces wrong output on it.  The crash checker must find
 #: and minimize exactly that image (the plain single-image crash path
 #: cannot: the simulated schedule persists data and marker together).
-VARIANT_EP_NOFENCE = "ep_nofence"
+#: The name (like every variant name) comes from the scheme registry;
+#: the implementation is native to this kernel.
+VARIANT_EP_NOFENCE = SCHEME_EP_NOFENCE
 
 
 @register

@@ -21,6 +21,8 @@ TEST_SPECS = {
     "conv2d": dict(n=20, ksize=3, row_block=3),
     "gauss": dict(n=16, row_block=4),
     "fft": dict(n=64),
+    "log": dict(records=24, width=4, wb_batch=4),
+    "hashmap": dict(capacity=32, ops=48, keys=8, wb_batch=4),
 }
 
 

@@ -23,6 +23,8 @@ SMALL_PARAMS = {
     "gauss": {"n": 8, "row_block": 4},
     "cholesky": {"n": 8, "col_block": 4},
     "conv2d": {"n": 8, "row_block": 2},
+    "log": {"records": 4, "width": 2, "wb_batch": 2},
+    "hashmap": {"capacity": 8, "ops": 6, "keys": 3, "wb_batch": 2},
 }
 
 

@@ -194,3 +194,33 @@ def test_cached_op_stream_refuses_stream_unsafe_workloads(tmp_path):
             workload, MachineConfig(num_cores=2), "base", num_threads=1,
             cache=ResultCache(str(tmp_path)),
         )
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [
+        ("log", {"records": 4, "width": 2, "wb_batch": 2}),
+        ("hashmap", {"capacity": 8, "ops": 6, "keys": 3, "wb_batch": 2}),
+    ],
+)
+def test_region_workloads_bypass_the_stream_cache(tmp_path, name, params):
+    # The storage family's region bodies are value-dependent (hashmap
+    # probe loops), so the class itself opts out of pre-decoded replay:
+    # the stream cache refuses it, and the ordinary generator path
+    # stays the (correct) fallback.
+    from repro.analysis.experiments import run_variant
+    from repro.sim.config import tiny_machine
+    from repro.workloads import get_workload
+
+    workload = get_workload(name)(**params)
+    assert workload.stream_safe is False
+    cache = ResultCache(str(tmp_path))
+    with pytest.raises(ConfigError):
+        cached_op_stream(
+            workload, tiny_machine(), "lp", num_threads=2, cache=cache
+        )
+    # Refusal must happen before anything is recorded or stored.
+    assert cache.stats.stores == 0
+
+    result = run_variant(workload, tiny_machine(), "lp", num_threads=2)
+    assert result.verified

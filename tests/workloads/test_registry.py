@@ -14,6 +14,8 @@ class TestRegistry:
             "conv2d",
             "fft",
             "gauss",
+            "hashmap",
+            "log",
             "tmm",
         ]
 
@@ -33,7 +35,11 @@ class TestRegistry:
             assert "lp" in cls.variants
             assert "ep" in cls.variants
 
-    def test_only_tmm_has_wal(self):
+    def test_wal_support(self):
+        # tmm implements WAL natively; the region-declared storage
+        # workloads inherit it (and every other scheme) from the
+        # scheme layer.
         for name in available_workloads():
             cls = get_workload(name)
-            assert ("wal" in cls.variants) == (name == "tmm")
+            expected = name in ("tmm", "log", "hashmap")
+            assert ("wal" in cls.variants) == expected
