@@ -25,7 +25,8 @@ knobs:
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+import statistics
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import ExperimentResult
 from repro.analysis.runner import Job, ResultCache, run_jobs
@@ -87,6 +88,51 @@ CACHE: Optional[ResultCache] = (
 #: benches (Figures 12 and 13 report two metrics of the same runs, as
 #: the paper's figures do).
 _RESULT_CACHE: Dict[tuple, ExperimentResult] = {}
+
+
+#: Absolute slack for wall-clock overhead assertions.  40ms is about
+#: one scheduler quantum of interference landing on a single sample's
+#: worth of runs: negligible against a full-size leg (where a relative
+#: ceiling is the binding constraint) but decisive at smoke sizes,
+#: where a few percent of a sub-second leg is below OS scheduling
+#: granularity.
+NOISE_FLOOR_SECONDS = 0.040
+
+
+def interleaved_medians(
+    legs: Sequence[Callable[[], float]], repeats: int = 5
+) -> List[float]:
+    """Median wall-clock seconds per leg, sampled interleaved.
+
+    Each leg is a zero-arg callable returning one timed sample in
+    seconds.  The harness tames noise the standard way: one discarded
+    warm-up sample per leg first (allocator/bytecode-cache warm-up
+    otherwise lands entirely on whichever leg runs first), then the
+    legs are sampled round-robin (so slow machine-wide drift — thermal,
+    background load — hits every leg equally), and the **median** of
+    ``repeats`` samples per leg is returned — a single descheduled
+    sample cannot move a median, where it could (and occasionally did,
+    on busy CI runners) decide a min-vs-min comparison.
+    """
+    for leg in legs:
+        leg()
+    samples: List[List[float]] = [[] for _ in legs]
+    for _ in range(repeats):
+        for index, leg in enumerate(legs):
+            samples[index].append(leg())
+    return [statistics.median(leg_samples) for leg_samples in samples]
+
+
+def overhead_allowance(
+    baseline_seconds: float,
+    ceiling: float,
+    noise_floor: float = NOISE_FLOOR_SECONDS,
+) -> float:
+    """Absolute seconds an overhead assertion tolerates: the relative
+    ``ceiling`` (e.g. 0.02 for 2%) of the baseline leg, floored at
+    ``noise_floor`` so smoke-size legs don't assert below scheduler
+    granularity."""
+    return max(ceiling * baseline_seconds, noise_floor)
 
 
 def engine_opts() -> dict:

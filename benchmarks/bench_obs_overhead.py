@@ -1,33 +1,36 @@
-"""Probe-bus overhead: the zero-overhead-when-disabled claim, measured.
+"""Probe-bus and stream-path observability overhead, measured.
 
 The ``repro.obs`` probe bus installs per-instance taps on a built
 machine; nothing in ``repro.sim`` branches on observability, so an
 untapped machine runs byte-identical code.  This bench pins that claim
-with wall-clock numbers:
+with wall-clock numbers, across both execution paths:
 
 * **disabled** — ``attach_probes`` with an empty bus.  No channel has
   a subscriber, so no tap is installed and the run must stay within
   ``OVERHEAD_CEILING`` (2%) of the plain run.  This is the asserted
   bound from the observability PR's acceptance criteria.
 * **traced** — a full :class:`TraceRecorder` plus
-  :class:`IntervalSampler` attached.  Tracing is allowed to cost real
-  time; we report the overhead ratio and the probe-event throughput
-  (events/second) rather than asserting a ceiling.
+  :class:`IntervalSampler` attached.  Tracing costs real time; the
+  overhead ratio is ratcheted (``TRACED_OVERHEAD_CEILING``) so
+  regressions in the recorder/bus/sampler hot paths trip the bench,
+  and the probe-event throughput is reported.
+* **stream obs** — the op-stream fast path with the full observer
+  surface *derived* in batch (:mod:`repro.obs.streamobs`): one bare
+  stream-path run (``record_stream``, exactly what ``repro run --tier
+  stream`` executes) against the same run plus the
+  ``derive_sampler``/``derive_heatmap``/``derive_flame`` trio.  The
+  derivations happen once per recorded stream, so comparing them
+  against the run that produces the stream mirrors the machine-path
+  legs (plain vs traced, both timing full runs); the delta must stay
+  within ``STREAM_OBS_CEILING`` (10%) — observability on the 100x
+  path cannot cost the path.
 
-Wall-clock noise is tamed the usual way: each timed sample is a batch
-of ``BATCH`` back-to-back runs on fresh machines (so a sample is long
-enough that scheduler jitter is a sub-percent effect even at smoke
-sizes), the plain and disabled legs are sampled **interleaved** (so
-slow machine-wide drift hits both equally), and the **median** of
-``REPEATS`` samples per leg is compared — a single descheduled sample
-cannot move a median, where it could (and occasionally did, on busy
-CI runners) decide a min-vs-min comparison.  The asserted bound
-additionally carries an absolute noise floor
-(``NOISE_FLOOR_SECONDS``): at full size 2% of the baseline dominates
-and the bound is the PR's relative ceiling; at smoke sizes, where 2%
-of a sub-second leg is below OS scheduling granularity, the floor
-absorbs the jitter a shared runner adds.  The result cache is
-irrelevant here — every leg calls ``machine.run`` directly.
+Wall-clock noise is tamed by the shared harness
+(:func:`bench_common.interleaved_medians`): per-leg warm-up, legs
+sampled interleaved, median of ``REPEATS`` compared, and every
+asserted bound carries the absolute noise floor via
+:func:`bench_common.overhead_allowance`.  The result cache is
+irrelevant here — every leg drives the machine directly.
 
 Besides the usual ``benchmarks/results/`` record, the headline numbers
 are written to ``BENCH_obs.json`` at the repo root so the perf
@@ -37,23 +40,44 @@ runs only; smoke runs assert but do not persist).
 
 import json
 import os
-import statistics
 import time
 
 from repro.analysis.reporting import format_table
-from repro.obs import IntervalSampler, ProbeBus, TraceRecorder, probed
+from repro.obs import (
+    IntervalSampler,
+    ProbeBus,
+    TraceRecorder,
+    derive_flame,
+    derive_heatmap,
+    derive_sampler,
+    probed,
+)
 from repro.obs.taps import attach_probes, detach_probes
 
 from bench_common import (
+    NOISE_FLOOR_SECONDS,
     NUM_THREADS,
     SMOKE,
+    interleaved_medians,
     machine_config,
     make_workload,
+    overhead_allowance,
     record,
 )
 
 #: The asserted disabled-probe bound from the PR acceptance criteria.
 OVERHEAD_CEILING = 0.02
+
+#: Ratchet on the fully-traced leg (recorder + sampler attached).
+#: History: 90.4% before the recorder/bus/sampler hot paths were
+#: flattened (bound-append handlers, single-subscriber bypass, cached
+#: column dicts); ~81% full-size / ~62% smoke after.  Headroom for
+#: runner noise, but below the pre-optimization figure by design.
+TRACED_OVERHEAD_CEILING = 0.88
+
+#: The asserted bound on stream-derived observability vs a bare
+#: stream-path run (the fast path must stay fast when observed).
+STREAM_OBS_CEILING = 0.10
 
 #: Interval width for the traced leg's sampler (cycles).
 SAMPLER_INTERVAL = 1000.0
@@ -62,21 +86,19 @@ SAMPLER_INTERVAL = 1000.0
 #: for a 2% bound, so a smoke sample batches several.
 BATCH = 6 if SMOKE else 1
 
+#: Runs per stream-leg sample: smoke-size recording runs are short,
+#: so they batch more to clear the noise floor.
+STREAM_BATCH = 8 if SMOKE else 1
+
 #: Samples per leg; the median is compared (robust to one bad sample).
 REPEATS = 5
-
-#: Absolute slack on the asserted bound.  40ms is about one scheduler
-#: quantum of interference landing on a single sample's worth of runs:
-#: negligible against a full-size leg (where the 2% relative ceiling
-#: is the binding constraint) but decisive at smoke sizes.
-NOISE_FLOOR_SECONDS = 0.040
 
 ROOT_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
 
 
 def _one_run(attach=None):
-    """One tmm/lp run on a fresh machine; returns (seconds, machine
-    run context) with ``attach(machine)`` applied around the run."""
+    """One tmm/lp run on a fresh machine; returns elapsed seconds with
+    ``attach()``'s observers wired around the run."""
     workload = make_workload("tmm")
     from repro.sim.machine import Machine
 
@@ -106,64 +128,101 @@ def _sample(attach=None):
     return sum(_one_run(attach) for _ in range(BATCH))
 
 
-def _median_of(attach=None):
-    return statistics.median(_sample(attach) for _ in range(REPEATS))
-
-
 def run_bench():
-    # Plain and disabled are the legs compared against the asserted
-    # ceiling; sample them interleaved so machine-wide drift (thermal,
-    # background load) lands on both sides of the ratio.  One discarded
-    # warm-up sample first: allocator/bytecode-cache warm-up otherwise
-    # lands entirely on whichever leg runs first.
-    _sample()
-    base_samples, disabled_samples = [], []
-    for _ in range(REPEATS):
-        base_samples.append(_sample())
-        disabled_samples.append(_sample(lambda: []))
-    baseline = statistics.median(base_samples)
-    disabled = statistics.median(disabled_samples)
-
-    # Traced leg: keep the recorder around to count events.
-    recorder = TraceRecorder()
-    sampler = IntervalSampler(SAMPLER_INTERVAL)
+    # Legs compared against the asserted ceilings, sampled interleaved
+    # by the shared harness; keep the traced leg's last recorder around
+    # to count events.
+    recorder_box = [TraceRecorder()]
 
     def traced_once():
-        nonlocal recorder, sampler
-        recorder = TraceRecorder()
-        sampler = IntervalSampler(SAMPLER_INTERVAL)
-        return [recorder, sampler]
+        recorder_box[0] = TraceRecorder()
+        return [recorder_box[0], IntervalSampler(SAMPLER_INTERVAL)]
 
-    traced = _median_of(traced_once)
-    return baseline, disabled, traced, len(recorder)
+    baseline, disabled, traced = interleaved_medians(
+        [
+            lambda: _sample(),
+            lambda: _sample(lambda: []),
+            lambda: _sample(traced_once),
+        ],
+        repeats=REPEATS,
+    )
+    return baseline, disabled, traced, len(recorder_box[0])
+
+
+def _stream_run(derive):
+    """One stream-path run (``record_stream`` on a fresh bound replay
+    machine — what ``repro run --tier stream`` executes), optionally
+    plus the full batch-derived observer surface; returns
+    ``(seconds, stream_len)``."""
+    from repro.sim.machine import Machine
+    from repro.sim.opstream import record_stream
+
+    workload = make_workload("tmm")
+    machine = Machine(machine_config(), _replay=True)
+    bound = workload.bind(machine, num_threads=NUM_THREADS)
+    threads = bound.threads("lp")
+    t0 = time.perf_counter()
+    stream, _ = record_stream(machine, threads)
+    if derive:
+        derive_sampler(stream, SAMPLER_INTERVAL)
+        derive_heatmap(stream, machine)
+        derive_flame(stream)
+    return time.perf_counter() - t0, len(stream)
+
+
+def run_stream_bench():
+    stream_len_box = [0]
+
+    def stream_sample(derive):
+        total = 0.0
+        for _ in range(STREAM_BATCH):
+            seconds, stream_len = _stream_run(derive)
+            total += seconds
+            stream_len_box[0] = stream_len
+        return total
+
+    bare, derived = interleaved_medians(
+        [lambda: stream_sample(False), lambda: stream_sample(True)],
+        repeats=REPEATS,
+    )
+    return bare, derived, stream_len_box[0] * STREAM_BATCH
 
 
 def test_obs_overhead(benchmark):
     baseline, disabled, traced, events = benchmark.pedantic(
         run_bench, rounds=1, iterations=1
     )
+    stream_bare, stream_obs, stream_events = run_stream_bench()
 
     disabled_overhead = disabled / baseline - 1.0
     traced_overhead = traced / baseline - 1.0
+    stream_overhead = (
+        stream_obs / stream_bare - 1.0 if stream_bare > 0 else 0.0
+    )
     # Both throughputs matter: the traced rate is what a tracing user
     # gets; the untraced rate (same event stream at plain-run speed) is
     # the simulator's actual hot-loop throughput, the number hot-loop
-    # optimizations move.  Reporting only the traced rate hid that
-    # difference in the bench trajectory.
+    # optimizations move.  The stream-obs rate is stream ops/sec
+    # through the recording run *including* the derived surface.
     events_per_sec_traced = events / traced if traced > 0 else 0.0
     events_per_sec_untraced = events / baseline if baseline > 0 else 0.0
+    events_per_sec_stream_obs = (
+        stream_events / stream_obs if stream_obs > 0 else 0.0
+    )
 
     table = format_table(
-        ["leg", "seconds (median of %d x %d runs)" % (REPEATS, BATCH),
-         "overhead"],
+        ["leg", "seconds (median of %d)" % REPEATS, "overhead"],
         [
             ["plain run", f"{baseline:.3f}", ""],
             ["probes disabled (empty bus)", f"{disabled:.3f}",
              f"{disabled_overhead * 100:+.2f}%"],
             ["fully traced (recorder+sampler)", f"{traced:.3f}",
              f"{traced_overhead * 100:+.2f}%"],
+            ["bare stream-path run", f"{stream_bare:.3f}", ""],
+            ["stream-path run + derived obs", f"{stream_obs:.3f}",
+             f"{stream_overhead * 100:+.2f}%"],
         ],
-        title="Probe-bus overhead (tmm/lp, wall-clock)",
+        title="Observability overhead (tmm/lp, wall-clock)",
     )
     data = {
         "baseline_seconds": round(baseline, 4),
@@ -171,28 +230,52 @@ def test_obs_overhead(benchmark):
         "disabled_overhead_pct": round(disabled_overhead * 100, 2),
         "traced_seconds": round(traced, 4),
         "traced_overhead_pct": round(traced_overhead * 100, 2),
+        "traced_overhead_ceiling_pct": TRACED_OVERHEAD_CEILING * 100,
+        "stream_bare_seconds": round(stream_bare, 4),
+        "stream_obs_seconds": round(stream_obs, 4),
+        "stream_obs_overhead_pct": round(stream_overhead * 100, 2),
+        "stream_obs_ceiling_pct": STREAM_OBS_CEILING * 100,
         "events": events,
         "events_per_sec_traced": round(events_per_sec_traced),
         "events_per_sec_untraced": round(events_per_sec_untraced),
+        "events_per_sec_stream_obs": round(events_per_sec_stream_obs),
         "ceiling_pct": OVERHEAD_CEILING * 100,
         "noise_floor_seconds": NOISE_FLOOR_SECONDS,
     }
     record("obs_overhead", table + f"\n\nprobe events/sec: "
            f"{events_per_sec_traced:,.0f} traced / "
-           f"{events_per_sec_untraced:,.0f} untraced ({events} events)",
+           f"{events_per_sec_untraced:,.0f} untraced ({events} events); "
+           f"stream ops/sec with derived obs: "
+           f"{events_per_sec_stream_obs:,.0f}",
            data)
     if not SMOKE:
         with open(ROOT_JSON, "w") as fh:
             json.dump(data, fh, indent=2, sort_keys=True)
             fh.write("\n")
 
-    allowance = max(OVERHEAD_CEILING * baseline, NOISE_FLOOR_SECONDS)
+    allowance = overhead_allowance(baseline, OVERHEAD_CEILING)
     assert disabled - baseline <= allowance, (
         f"disabled-probe overhead {disabled - baseline:.3f}s "
         f"({disabled_overhead * 100:+.2f}%) exceeds the allowance of "
         f"{allowance:.3f}s (max of {OVERHEAD_CEILING * 100:.0f}% of the "
         f"{baseline:.3f}s plain leg and the {NOISE_FLOOR_SECONDS * 1000:.0f}ms "
         f"noise floor)"
+    )
+    traced_allowance = overhead_allowance(baseline, TRACED_OVERHEAD_CEILING)
+    assert traced - baseline <= traced_allowance, (
+        f"traced overhead {traced - baseline:.3f}s "
+        f"({traced_overhead * 100:+.2f}%) exceeds the ratcheted allowance "
+        f"of {traced_allowance:.3f}s "
+        f"({TRACED_OVERHEAD_CEILING * 100:.0f}% of the {baseline:.3f}s "
+        f"plain leg) — the recorder/bus/sampler hot paths regressed"
+    )
+    stream_allowance = overhead_allowance(stream_bare, STREAM_OBS_CEILING)
+    assert stream_obs - stream_bare <= stream_allowance, (
+        f"stream-derived observability costs {stream_obs - stream_bare:.3f}s "
+        f"({stream_overhead * 100:+.2f}%) over the bare {stream_bare:.3f}s "
+        f"stream-path leg; allowance is {stream_allowance:.3f}s (max of "
+        f"{STREAM_OBS_CEILING * 100:.0f}% and the "
+        f"{NOISE_FLOOR_SECONDS * 1000:.0f}ms noise floor)"
     )
 
 

@@ -26,14 +26,16 @@ with no pool — bit-for-bit the same results as the parallel path.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
 import os
 import random
 import tempfile
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import ExperimentResult, run_variant
 from repro.errors import ConfigError
@@ -171,6 +173,11 @@ class Job:
     #: Same keying discipline as ``obs_interval``: in the key only when
     #: on, so untagged jobs keep their pre-provenance keys.
     provenance: bool = False
+    #: Execution tier: ``"machine"`` (default, the full scheduling
+    #: machine) or ``"stream"`` (record + replay through the op-stream
+    #: interpreter with batch-derived observability where eligible).
+    #: In the key only when non-default, so existing keys are stable.
+    tier: str = "machine"
 
     def cache_key(self) -> str:
         """Content-addressed identity of this job's result."""
@@ -192,6 +199,8 @@ class Job:
             payload["obs_interval"] = self.obs_interval
         if self.provenance:
             payload["provenance"] = True
+        if self.tier != "machine":
+            payload["tier"] = self.tier
         return hashlib.sha256(
             json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
         ).hexdigest()
@@ -223,6 +232,7 @@ class Job:
             drain=self.drain,
             obs_interval=self.obs_interval,
             provenance=self.provenance,
+            tier=self.tier,
         )
 
 
@@ -342,6 +352,116 @@ class CacheStats:
 
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (manifests, telemetry, CLI summaries)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+    def summary(self) -> str:
+        """One-line human summary: ``3/7 hits (42.9%)``."""
+        return (
+            f"{self.hits}/{self.lookups} hits "
+            f"({100.0 * self.hit_rate():.1f}%)"
+        )
+
+
+@dataclass
+class RunTelemetry:
+    """Harness-level telemetry for one or more :func:`run_jobs` batches.
+
+    Records what the *harness* did — not what the simulator measured:
+    one span per job (queue-to-finish wall clock, cache hit or full
+    run), the worker count, total batch wall clock, and a snapshot of
+    the cache's hit/miss counters.  Collected by passing an instance to
+    ``run_jobs(..., telemetry=...)`` or ambiently via
+    :func:`collect_telemetry`; rendered by ``repro dashboard``.
+
+    Spans are plain dicts (JSON-safe)::
+
+        {"label": "tmm/lp", "status": "run" | "hit",
+         "start_s": 0.0, "end_s": 1.7, "wall_s": 1.7}
+
+    ``start_s``/``end_s`` are offsets from the first batch's start, on
+    the shared wall clock, so pool workers' spans line up on one
+    timeline.
+    """
+
+    workers: int = 1
+    wall_clock_s: float = 0.0
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    cache: Optional[Dict[str, object]] = None
+    _epoch: Optional[float] = field(default=None, repr=False, compare=False)
+
+    def busy_s(self) -> float:
+        """Total span wall clock (summed over workers)."""
+        return sum(float(span.get("wall_s", 0.0)) for span in self.spans)
+
+    def utilization(self) -> float:
+        """Busy fraction of the worker pool over the batch wall clock."""
+        capacity = self.workers * self.wall_clock_s
+        return self.busy_s() / capacity if capacity > 0 else 0.0
+
+    def counts(self) -> Dict[str, int]:
+        out = {"jobs": len(self.spans), "hits": 0, "runs": 0}
+        for span in self.spans:
+            if span.get("status") == "hit":
+                out["hits"] += 1
+            else:
+                out["runs"] += 1
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """Flat headline dict (CLI output, report manifests)."""
+        out: Dict[str, object] = dict(self.counts())
+        out["workers"] = self.workers
+        out["wall_clock_s"] = round(self.wall_clock_s, 4)
+        out["busy_s"] = round(self.busy_s(), 4)
+        out["utilization"] = round(self.utilization(), 4)
+        if self.cache is not None:
+            out["cache"] = dict(self.cache)
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe document (``repro sweep --telemetry-out``)."""
+        return {
+            "workers": self.workers,
+            "wall_clock_s": round(self.wall_clock_s, 6),
+            "spans": [dict(span) for span in self.spans],
+            "cache": dict(self.cache) if self.cache is not None else None,
+            "summary": self.summary(),
+        }
+
+
+#: Ambient telemetry sink installed by :func:`collect_telemetry` —
+#: lets the CLI collect spans across call chains (sweeps, compares)
+#: whose intermediate layers do not thread a telemetry argument.
+_ACTIVE_TELEMETRY: Optional[RunTelemetry] = None
+
+
+@contextlib.contextmanager
+def collect_telemetry(
+    telemetry: Optional[RunTelemetry] = None,
+) -> Iterator[RunTelemetry]:
+    """Collect telemetry from every :func:`run_jobs` call in the block.
+
+    Yields the collecting :class:`RunTelemetry` (a fresh one unless
+    passed in).  Batches accumulate: spans append, wall clocks sum,
+    ``workers`` keeps the maximum.
+    """
+    global _ACTIVE_TELEMETRY
+    sink = telemetry if telemetry is not None else RunTelemetry()
+    previous = _ACTIVE_TELEMETRY
+    _ACTIVE_TELEMETRY = sink
+    try:
+        yield sink
+    finally:
+        _ACTIVE_TELEMETRY = previous
 
 
 class ResultCache:
@@ -557,10 +677,24 @@ def cached_op_stream(
     return stream
 
 
-def _execute_indexed(payload: Tuple[int, Job]) -> Tuple[int, ExperimentResult]:
-    """Pool worker: run one job, tagged with its submission index."""
+def _job_label(job: object) -> str:
+    """Human span label for any ``cache_key()``/``run()`` job."""
+    workload = getattr(job, "workload", None)
+    name = getattr(workload, "name", None) or type(job).__name__
+    variant = getattr(job, "variant", None)
+    return f"{name}/{variant}" if variant else str(name)
+
+
+def _execute_indexed(
+    payload: Tuple[int, Job]
+) -> Tuple[int, ExperimentResult, float, float]:
+    """Pool worker: run one job, tagged with its submission index and
+    its start/end wall-clock timestamps (``time.time()``, comparable
+    across processes on one host)."""
     index, job = payload
-    return index, job.run()
+    start = time.time()
+    result = job.run()
+    return index, result, start, time.time()
 
 
 def run_jobs(
@@ -569,6 +703,7 @@ def run_jobs(
     cache: Optional[ResultCache] = None,
     mp_context: str = "spawn",
     decode=None,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> List[ExperimentResult]:
     """Run experiment points, in parallel, through the result cache.
 
@@ -581,9 +716,21 @@ def run_jobs(
     works (:class:`Job`, :class:`CrashCheckJob`); its result must offer
     ``to_dict()`` when a cache is used, and ``decode`` must be the
     matching ``from_dict`` (defaults to ExperimentResult's).
+
+    ``telemetry`` (or an ambient :func:`collect_telemetry` sink)
+    receives one span per job — cache hits included — plus worker
+    count, batch wall clock, and a cache-stats snapshot.
     """
     if n_jobs < 1:
         raise ConfigError(f"n_jobs must be >= 1, got {n_jobs}")
+    if telemetry is None:
+        telemetry = _ACTIVE_TELEMETRY
+    batch_start = time.time()
+    if telemetry is not None and telemetry._epoch is None:
+        telemetry._epoch = batch_start
+    epoch = (
+        telemetry._epoch if telemetry is not None else batch_start
+    )
     results: List[Optional[ExperimentResult]] = [None] * len(jobs)
 
     # Cache probe; collect misses, collapsing duplicate keys.
@@ -592,9 +739,18 @@ def run_jobs(
     for index, job in enumerate(jobs):
         key = job.cache_key()
         if cache is not None and key not in pending:
+            probe_start = time.time()
             hit = cache.get(key, decode=decode)
             if hit is not None:
                 results[index] = hit
+                if telemetry is not None:
+                    telemetry.spans.append({
+                        "label": _job_label(job),
+                        "status": "hit",
+                        "start_s": round(probe_start - epoch, 6),
+                        "end_s": round(time.time() - epoch, 6),
+                        "wall_s": round(time.time() - probe_start, 6),
+                    })
                 continue
         if key in pending:
             pending[key].append(index)
@@ -603,11 +759,14 @@ def run_jobs(
             pending_jobs.append(job)
 
     # Run the misses.
+    workers = 1
     if pending_jobs:
         if n_jobs == 1 or len(pending_jobs) == 1:
-            finished = [
-                (i, job.run()) for i, job in enumerate(pending_jobs)
-            ]
+            finished = []
+            for i, job in enumerate(pending_jobs):
+                start = time.time()
+                result = job.run()
+                finished.append((i, result, start, time.time()))
         else:
             ctx = multiprocessing.get_context(mp_context)
             workers = min(n_jobs, len(pending_jobs))
@@ -618,12 +777,26 @@ def run_jobs(
                     )
                 )
         keys = list(pending)
-        for pending_index, result in finished:
+        for pending_index, result, start, end in finished:
             key = keys[pending_index]
             if cache is not None:
                 cache.put(key, result)
+            if telemetry is not None:
+                telemetry.spans.append({
+                    "label": _job_label(pending_jobs[pending_index]),
+                    "status": "run",
+                    "start_s": round(start - epoch, 6),
+                    "end_s": round(end - epoch, 6),
+                    "wall_s": round(end - start, 6),
+                })
             for index in pending[key]:
                 results[index] = result
+
+    if telemetry is not None:
+        telemetry.workers = max(telemetry.workers, workers)
+        telemetry.wall_clock_s += time.time() - batch_start
+        if cache is not None:
+            telemetry.cache = cache.stats.to_dict()
 
     return [r for r in results if r is not None]
 

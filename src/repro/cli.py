@@ -222,6 +222,7 @@ def _cmd_run(args) -> int:
         cleaner_period=args.cleaner_period,
         drain=args.drain,
         obs_interval=args.obs_interval,
+        tier=args.tier,
     )
     wall_clock_s = time.perf_counter() - started
     rows = [[k, v] for k, v in sorted(result.summary_dict().items())]
@@ -231,6 +232,10 @@ def _cmd_run(args) -> int:
             title=f"{args.workload}+{args.variant} ({args.threads} threads)",
         )
     )
+    if result.obs_path is not None:
+        print(f"\n[observability: {result.obs_path} path]")
+    if result.obs_fallback_reason is not None:
+        print(f"[stream tier fell back: {result.obs_fallback_reason}]")
     if args.obs_out:
         if result.intervals is None:
             raise SystemExit("--obs-out requires --obs-interval")
@@ -438,10 +443,7 @@ def _cmd_regress(args) -> int:
         )
     print(report.render())
     if cache is not None and cache.stats.lookups:
-        print(
-            f"\n[cache: {cache.stats.hits}/{cache.stats.lookups} hits "
-            f"({cache.root})]"
-        )
+        print(f"\n[cache: {cache.stats.summary()} ({cache.root})]")
     return 0 if report.ok else 1
 
 
@@ -450,6 +452,34 @@ def _cmd_report(args) -> int:
 
     reports = [RunReport.load(path) for path in args.reports]
     print(render_reports(reports, fmt="md" if args.md else "text"))
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    """Render RunReports + harness telemetry as one static HTML page."""
+    from repro.obs import RunReport, render_dashboard
+
+    reports = [RunReport.load(path) for path in args.reports]
+    telemetry = None
+    if args.telemetry:
+        import json
+
+        with open(args.telemetry) as fh:
+            telemetry = json.load(fh)
+        if not isinstance(telemetry, dict):
+            raise SystemExit(
+                f"{args.telemetry!r} is not a telemetry JSON object"
+            )
+    if not reports and telemetry is None:
+        raise SystemExit("dashboard needs report files and/or --telemetry")
+    html = render_dashboard(reports, telemetry=telemetry)
+    with open(args.out, "w") as fh:
+        fh.write(html)
+    print(
+        f"[dashboard: {len(reports)} report(s)"
+        + (", telemetry" if telemetry is not None else "")
+        + f" -> {args.out}]"
+    )
     return 0
 
 
@@ -670,10 +700,7 @@ def _cmd_crashcheck(args) -> int:
         if dumped:
             print(f"\n[{dumped} counterexample(s) written to {args.cex_out}]")
     if cache is not None and cache.stats.lookups:
-        print(
-            f"\n[cache: {cache.stats.hits}/{cache.stats.lookups} hits "
-            f"({cache.root})]"
-        )
+        print(f"\n[cache: {cache.stats.summary()} ({cache.root})]")
     return 0 if ok_overall else 1
 
 
@@ -831,12 +858,19 @@ def _cmd_reproduce(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from repro.analysis.runner import collect_telemetry
+
     wl = _workload(args)
     cfg = _machine(args)
     cache = _cache(args)
     engine_opts = dict(
         n_jobs=args.jobs, cache=cache, obs_interval=args.obs_interval
     )
+    with collect_telemetry() as telemetry:
+        return _run_sweep(args, wl, cfg, cache, engine_opts, telemetry)
+
+
+def _run_sweep(args, wl, cfg, cache, engine_opts, telemetry) -> int:
     if args.kind == "checksum":
         out = sweeps.sweep_checksum(
             wl, cfg, available_engines(), num_threads=args.threads,
@@ -891,10 +925,21 @@ def _cmd_sweep(args) -> int:
         headers = ["period (cycles)", "writes", "cleaner writes"]
     print(format_table(headers, rows, title=f"{args.workload}: {args.kind} sweep"))
     if cache is not None and cache.stats.lookups:
-        print(
-            f"\n[cache: {cache.stats.hits}/{cache.stats.lookups} hits "
-            f"({cache.root})]"
-        )
+        print(f"\n[cache: {cache.stats.summary()} ({cache.root})]")
+    counts = telemetry.counts()
+    print(
+        f"[harness: {counts['jobs']} jobs ({counts['hits']} cache hits, "
+        f"{counts['runs']} runs) on {telemetry.workers} worker(s) in "
+        f"{telemetry.wall_clock_s:.2f}s, "
+        f"{100.0 * telemetry.utilization():.0f}% utilized]"
+    )
+    if args.telemetry_out:
+        import json
+
+        with open(args.telemetry_out, "w") as fh:
+            json.dump(telemetry.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[telemetry saved to {args.telemetry_out}]")
     return 0
 
 
@@ -980,6 +1025,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--report-out", default=None, metavar="FILE",
         help="write a RunReport manifest (JSON) for `repro report`",
+    )
+    p_run.add_argument(
+        "--tier", choices=["machine", "stream"], default="machine",
+        help="execution tier (stream: one recording replay run with "
+        "observability batch-derived from the op stream; falls back "
+        "to the machine path, with the reason printed, on points the "
+        "stream format cannot encode)",
     )
 
     p_trace = sub.add_parser(
@@ -1071,6 +1123,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "--md", action="store_true", help="emit a markdown table"
+    )
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="render RunReports + harness telemetry as a self-contained "
+        "HTML dashboard (sparklines, heatmap bars, job timeline)",
+    )
+    p_dash.add_argument(
+        "reports", nargs="*", metavar="REPORT.json",
+        help="RunReport files (from run/trace --report-out)",
+    )
+    p_dash.add_argument(
+        "-o", "--out", default="dashboard.html", metavar="FILE",
+        help="output HTML path (default: dashboard.html)",
+    )
+    p_dash.add_argument(
+        "--telemetry", default=None, metavar="FILE",
+        help="harness telemetry JSON (from sweep --telemetry-out)",
     )
 
     p_cmp = sub.add_parser("compare", help="compare variants (normalized)")
@@ -1203,6 +1273,11 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_sweep)
     engine_flags(p_sweep)
     obs_flag(p_sweep)
+    p_sweep.add_argument(
+        "--telemetry-out", default=None, metavar="FILE",
+        help="write harness telemetry (per-job spans, cache stats, "
+        "worker utilization) as JSON for `repro dashboard --telemetry`",
+    )
 
     p_idem = sub.add_parser(
         "idempotence", help="classify a workload's LP regions (III-E)"
@@ -1233,6 +1308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "flame": _cmd_flame,
         "regress": _cmd_regress,
         "report": _cmd_report,
+        "dashboard": _cmd_dashboard,
         "compare": _cmd_compare,
         "crash": _cmd_crash,
         "crashcheck": _cmd_crashcheck,

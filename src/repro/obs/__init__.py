@@ -32,6 +32,14 @@ visibility without touching the simulator's hot path:
 * :mod:`repro.obs.baseline` — the regression sentinel: committed
   baselines with noise bands under ``benchmarks/baselines/``, gated
   by ``repro regress`` in CI.
+* :mod:`repro.obs.streamobs` — the same observer surface **derived in
+  batch** from a pre-decoded op stream (``derive_sampler`` /
+  ``derive_heatmap`` / ``derive_flame`` / ``derive_recorder``),
+  bit-reconciled against a probed replay run — observability for the
+  100x fast path without per-event callbacks.
+* :mod:`repro.obs.dashboard` — ``render_dashboard``: run reports plus
+  harness telemetry as one self-contained HTML page
+  (``repro dashboard``).
 
 See ``docs/observability.md`` for the probe-bus contract and the trace
 schema.
@@ -55,6 +63,7 @@ from repro.obs.events import (
     StallCharged,
     WritebackAccepted,
 )
+from repro.obs.dashboard import render_dashboard
 from repro.obs.intervals import IntervalSampler
 from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
 from repro.obs.profile import (
@@ -65,6 +74,12 @@ from repro.obs.profile import (
 )
 from repro.obs.recorder import TraceRecorder
 from repro.obs.report import RunReport, render_reports
+from repro.obs.streamobs import (
+    derive_flame,
+    derive_heatmap,
+    derive_recorder,
+    derive_sampler,
+)
 from repro.obs.taps import attach_probes, detach_probes, probed
 
 __all__ = [
@@ -96,4 +111,9 @@ __all__ = [
     "attach_probes",
     "detach_probes",
     "probed",
+    "derive_sampler",
+    "derive_heatmap",
+    "derive_flame",
+    "derive_recorder",
+    "render_dashboard",
 ]

@@ -107,6 +107,14 @@ class ProbeBus:
         self._writeback = _subscribed(self.observers, "on_writeback")
         self._nvmm_read = _subscribed(self.observers, "on_nvmm_read")
         self._cleaner = _subscribed(self.observers, "on_cleaner")
+        # Single-subscriber channels skip the fan-out loop entirely:
+        # the publish hook *is* the observer's callback (an instance
+        # attribute shadowing the method below), which cuts one Python
+        # frame per event on the dominant tracing configurations.
+        for channel, _method in CHANNELS.items():
+            callbacks = getattr(self, "_" + channel)
+            if len(callbacks) == 1:
+                setattr(self, channel, callbacks[0])
 
     # -- publish hooks (called by the taps) --------------------------------
 

@@ -1,0 +1,305 @@
+"""Static HTML dashboard over run manifests and harness telemetry.
+
+``render_dashboard`` folds any set of :class:`~repro.obs.report.
+RunReport` manifests — plus an optional :class:`~repro.analysis.runner.
+RunTelemetry` document — into one self-contained HTML page: headline
+tiles, a metric comparison table, per-run interval sparklines (SVG,
+from each report's ``intervals`` series), per-region write/store bars
+(from ``heatmap``), and a per-job timeline of the harness's spans
+(queue/run wall clock, cache hits vs full runs).  No external assets,
+no scripts — the page is a single file that renders anywhere,
+including as a CI artifact.
+
+``repro dashboard REPORT.json ... -o dash.html`` is the CLI face.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.obs.report import RunReport
+
+#: Interval columns worth a sparkline, in display order; per-core op
+#: columns are added dynamically.
+_SPARK_COLUMNS = (
+    "fences",
+    "stalls.fence_mfence",
+    "writes.eviction",
+    "writes.flush",
+    "nvmm_reads",
+    "queue_delay_cycles",
+)
+
+#: Headline metrics for the tile row of each report.
+_TILE_METRICS = (
+    ("exec_cycles", "exec cycles"),
+    ("nvmm_writes", "NVMM writes"),
+    ("nvmm_reads", "NVMM reads"),
+    ("ops_executed", "ops"),
+)
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 1.5rem auto; max-width: 72rem; color: #1c2733;
+       background: #f7f9fb; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+h3 { font-size: 0.95rem; margin: 0.8rem 0 0.3rem; }
+.tiles { display: flex; flex-wrap: wrap; gap: 0.6rem; }
+.tile { background: #fff; border: 1px solid #dde4ea; border-radius: 6px;
+        padding: 0.5rem 0.9rem; min-width: 7rem; }
+.tile .v { font-size: 1.15rem; font-weight: 600; }
+.tile .k { font-size: 0.72rem; color: #5b6b7a; text-transform: uppercase; }
+table { border-collapse: collapse; background: #fff; font-size: 0.85rem; }
+th, td { border: 1px solid #dde4ea; padding: 0.25rem 0.6rem;
+         text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+.card { background: #fff; border: 1px solid #dde4ea; border-radius: 6px;
+        padding: 0.8rem 1rem; margin: 0.8rem 0; }
+.spark { display: inline-block; margin: 0 0.9rem 0.4rem 0; }
+.spark .lbl { font-size: 0.7rem; color: #5b6b7a; display: block; }
+.bar { fill: #4c88c8; } .bar.alt { fill: #74b06f; }
+.span-run { fill: #4c88c8; } .span-hit { fill: #74b06f; }
+.axis { font-size: 0.65rem; fill: #5b6b7a; }
+.muted { color: #5b6b7a; font-size: 0.8rem; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def _sparkline(
+    label: str, values: Sequence[float], width: int = 180, height: int = 36
+) -> str:
+    """One inline SVG polyline over ``values`` (empty-safe)."""
+    n = len(values)
+    peak = max(values) if values else 0.0
+    if n < 2 or peak <= 0:
+        points = f"0,{height - 2} {width},{height - 2}"
+    else:
+        step = width / (n - 1)
+        points = " ".join(
+            f"{i * step:.1f},{(height - 2) * (1 - v / peak) + 1:.1f}"
+            for i, v in enumerate(values)
+        )
+    return (
+        f'<span class="spark"><span class="lbl">{_esc(label)}'
+        f" (peak {_fmt(peak)})</span>"
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline points="{points}" fill="none" stroke="#4c88c8" '
+        f'stroke-width="1.5"/></svg></span>'
+    )
+
+
+def _spark_columns(columns: Dict[str, List[float]]) -> List[str]:
+    """Which interval columns to draw: per-core ops, then the fixed set."""
+    names = sorted(n for n in columns if n.startswith("ops.core"))
+    names += [n for n in _SPARK_COLUMNS if n in columns]
+    return names
+
+
+def _region_bars(regions: Dict[str, Dict[str, object]]) -> str:
+    """Horizontal write/store bars, one row per allocator region."""
+    rows = []
+    peak = 1
+    for info in regions.values():
+        peak = max(
+            peak, int(info.get("writes", 0)), int(info.get("stores", 0))
+        )
+    for name in sorted(regions):
+        info = regions[name]
+        writes = int(info.get("writes", 0))
+        stores = int(info.get("stores", 0))
+        w_px = int(260 * writes / peak)
+        s_px = int(260 * stores / peak)
+        rows.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f'<td><svg width="270" height="14">'
+            f'<rect class="bar" width="{w_px}" height="6" y="0"/>'
+            f'<rect class="bar alt" width="{s_px}" height="6" y="8"/>'
+            f"</svg></td>"
+            f"<td>{writes:,}</td><td>{stores:,}</td>"
+            f"<td>{int(info.get('flushes', 0)):,}</td></tr>"
+        )
+    return (
+        "<table><tr><th>region</th><th>writes / stores</th>"
+        "<th>writes</th><th>stores</th><th>flushes</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _timeline(telemetry: Dict[str, object]) -> str:
+    """Per-job gantt over the harness spans (SVG rows on one clock)."""
+    spans = telemetry.get("spans")
+    if not isinstance(spans, list) or not spans:
+        return '<p class="muted">no spans recorded</p>'
+    horizon = max(float(s.get("end_s", 0.0)) for s in spans) or 1.0
+    row_h, width = 18, 640
+    label_w = 160
+    parts = [
+        f'<svg width="{label_w + width + 70}" '
+        f'height="{row_h * len(spans) + 20}">'
+    ]
+    for i, span in enumerate(spans):
+        y = i * row_h
+        x0 = label_w + width * float(span.get("start_s", 0.0)) / horizon
+        x1 = label_w + width * float(span.get("end_s", 0.0)) / horizon
+        status = str(span.get("status", "run"))
+        parts.append(
+            f'<text class="axis" x="0" y="{y + 12}">'
+            f"{_esc(span.get('label', '?'))} [{_esc(status)}]</text>"
+            f'<rect class="span-{_esc(status)}" x="{x0:.1f}" y="{y + 4}" '
+            f'width="{max(x1 - x0, 1.5):.1f}" height="{row_h - 8}"/>'
+            f'<text class="axis" x="{x1 + 4:.1f}" y="{y + 12}">'
+            f"{float(span.get('wall_s', 0.0)):.3f}s</text>"
+        )
+    parts.append(
+        f'<text class="axis" x="{label_w}" '
+        f'y="{row_h * len(spans) + 14}">0s</text>'
+        f'<text class="axis" x="{label_w + width - 30}" '
+        f'y="{row_h * len(spans) + 14}">{horizon:.3f}s</text></svg>'
+    )
+    return "".join(parts)
+
+
+def _telemetry_tiles(telemetry: Dict[str, object]) -> List[Tuple[str, str]]:
+    summary = telemetry.get("summary")
+    if not isinstance(summary, dict):
+        return []
+    tiles = [
+        ("jobs", _esc(summary.get("jobs", 0))),
+        ("cache hits", _esc(summary.get("hits", 0))),
+        ("full runs", _esc(summary.get("runs", 0))),
+        ("workers", _esc(summary.get("workers", 1))),
+        ("wall clock", f"{float(summary.get('wall_clock_s', 0.0)):.3f}s"),
+        (
+            "utilization",
+            f"{100.0 * float(summary.get('utilization', 0.0)):.0f}%",
+        ),
+    ]
+    cache = summary.get("cache")
+    if isinstance(cache, dict):
+        tiles.append(
+            ("cache hit rate",
+             f"{100.0 * float(cache.get('hit_rate', 0.0)):.0f}%")
+        )
+    return tiles
+
+
+def _report_card(report: RunReport) -> str:
+    parts = [f"<div class='card'><h3>{_esc(report.label())}</h3>"]
+    parts.append('<div class="tiles">')
+    for key, label in _TILE_METRICS:
+        value = report.metrics.get(key)
+        if value is not None:
+            parts.append(
+                f'<div class="tile"><div class="v">{_fmt(value)}</div>'
+                f'<div class="k">{_esc(label)}</div></div>'
+            )
+    parts.append(
+        f'<div class="tile"><div class="v">{_esc(report.timing)}</div>'
+        f'<div class="k">timing</div></div></div>'
+    )
+    if report.intervals is not None:
+        columns = report.intervals.get("columns")
+        if isinstance(columns, dict):
+            interval = report.intervals.get("interval")
+            parts.append(
+                f'<p class="muted">interval series '
+                f"({_esc(interval)} cycles/bucket)</p>"
+            )
+            for name in _spark_columns(columns):
+                parts.append(_sparkline(name, columns[name]))
+    if report.heatmap is not None:
+        regions = report.heatmap.get("regions")
+        if isinstance(regions, dict) and regions:
+            parts.append("<h3>write heatmap</h3>")
+            parts.append(_region_bars(regions))
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def render_dashboard(
+    reports: Sequence[RunReport],
+    telemetry: Optional[Dict[str, object]] = None,
+) -> str:
+    """The dashboard page (a complete HTML document) as a string.
+
+    ``telemetry`` is a :meth:`~repro.analysis.runner.RunTelemetry.
+    to_dict` document; when omitted, the first report carrying an
+    embedded ``telemetry`` snapshot supplies it.
+    """
+    if not reports and telemetry is None:
+        raise ConfigError("nothing to render: no reports, no telemetry")
+    if telemetry is None:
+        for report in reports:
+            if report.telemetry is not None:
+                telemetry = report.telemetry
+                break
+
+    body: List[str] = ["<h1>repro run dashboard</h1>"]
+    if reports:
+        body.append(
+            f'<p class="muted">{len(reports)} run report(s), '
+            f"code {_esc(reports[0].code_version[:12])}</p>"
+        )
+
+    if telemetry is not None:
+        body.append("<h2>Harness telemetry</h2>")
+        tiles = _telemetry_tiles(telemetry)
+        if tiles:
+            body.append('<div class="tiles">')
+            for label, value in tiles:
+                body.append(
+                    f'<div class="tile"><div class="v">{value}</div>'
+                    f'<div class="k">{label}</div></div>'
+                )
+            body.append("</div>")
+        body.append("<h3>job timeline</h3>")
+        body.append(_timeline(telemetry))
+
+    if reports:
+        body.append("<h2>Runs</h2>")
+        for report in reports:
+            body.append(_report_card(report))
+        if len(reports) > 1:
+            body.append("<h2>Metric comparison</h2>")
+            body.append(_comparison_table(reports))
+
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>repro dashboard</title>"
+        f"<style>{_CSS}</style></head><body>"
+        + "".join(body)
+        + "</body></html>"
+    )
+
+
+def _comparison_table(reports: Sequence[RunReport]) -> str:
+    names: List[str] = []
+    for report in reports:
+        for name in report.metrics:
+            if name not in names:
+                names.append(name)
+    head = "".join(f"<th>{_esc(r.label())}</th>" for r in reports)
+    rows = []
+    for name in sorted(names):
+        cells = []
+        for report in reports:
+            value = report.metrics.get(name)
+            cells.append(
+                f"<td>{_fmt(value) if value is not None else '-'}</td>"
+            )
+        rows.append(f"<tr><td>{_esc(name)}</td>{''.join(cells)}</tr>")
+    return (
+        f"<table><tr><th>metric</th>{head}</tr>" + "".join(rows) + "</table>"
+    )

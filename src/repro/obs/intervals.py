@@ -72,6 +72,14 @@ class IntervalSampler(ProbeObserver):
         self._sum: Dict[str, Dict[int, float]] = {}
         #: column name -> {bucket index -> max value}
         self._max: Dict[str, Dict[int, float]] = {}
+        # Hot-path caches: the column dicts the per-event handlers hit,
+        # keyed without the f-string column-name formatting.  These are
+        # views into ``_sum`` (same dict objects), so every aggregation
+        # below stays byte-identical.
+        self._ops_cols: Dict[int, Dict[int, float]] = {}
+        self._stall_cols: Dict[str, Dict[int, float]] = {}
+        self._write_cols: Dict[str, Dict[int, float]] = {}
+        self._hazard_cols: Dict[str, Dict[int, float]] = {}
 
     # -- accumulation -------------------------------------------------------
 
@@ -92,7 +100,12 @@ class IntervalSampler(ProbeObserver):
     # -- probe channels -----------------------------------------------------
 
     def on_op(self, ev: OpExecuted) -> None:
-        self._add(f"ops.core{ev.core_id}", ev.end, 1.0)
+        col = self._ops_cols.get(ev.core_id)
+        if col is None:
+            col = self._sum.setdefault(f"ops.core{ev.core_id}", {})
+            self._ops_cols[ev.core_id] = col
+        b = int(ev.end // self.interval)
+        col[b] = col.get(b, 0.0) + 1.0
         if isinstance(ev.op, Fence):
             self._add("fences", ev.end, 1.0)
 
@@ -103,14 +116,29 @@ class IntervalSampler(ProbeObserver):
             self._add("l1_misses", ev.cycle, 1.0)
 
     def on_stall(self, ev: StallCharged) -> None:
-        self._add(f"stalls.{ev.cause}", ev.start, ev.cycles)
+        col = self._stall_cols.get(ev.cause)
+        if col is None:
+            col = self._sum.setdefault(f"stalls.{ev.cause}", {})
+            self._stall_cols[ev.cause] = col
+        b = int(ev.start // self.interval)
+        col[b] = col.get(b, 0.0) + ev.cycles
         self._add("lost_slots", ev.start, float(ev.lost_slots))
 
     def on_hazard(self, ev: HazardHit) -> None:
-        self._add(f"hazards.{ev.cause}", ev.cycle, 1.0)
+        col = self._hazard_cols.get(ev.cause)
+        if col is None:
+            col = self._sum.setdefault(f"hazards.{ev.cause}", {})
+            self._hazard_cols[ev.cause] = col
+        b = int(ev.cycle // self.interval)
+        col[b] = col.get(b, 0.0) + 1.0
 
     def on_writeback(self, ev: WritebackAccepted) -> None:
-        self._add(f"writes.{ev.cause}", ev.accept_time, 1.0)
+        col = self._write_cols.get(ev.cause)
+        if col is None:
+            col = self._sum.setdefault(f"writes.{ev.cause}", {})
+            self._write_cols[ev.cause] = col
+        b = int(ev.accept_time // self.interval)
+        col[b] = col.get(b, 0.0) + 1.0
         self._add("queue_delay_cycles", ev.accept_time, ev.queue_delay)
         self._peak(
             "mc_queue_depth.max", ev.accept_time, float(ev.queue_depth)

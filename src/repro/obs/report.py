@@ -54,6 +54,16 @@ class RunReport:
     wall_clock_s: float
     metrics: Dict[str, float]
     workload_params: Dict[str, object] = field(default_factory=dict)
+    #: Interval time series of the run (``ExperimentResult.intervals``)
+    #: when the run was sampled; rendered as sparklines by
+    #: ``repro dashboard``.
+    intervals: Optional[Dict[str, object]] = None
+    #: Write-attribution document (``ExperimentResult.heatmap``).
+    heatmap: Optional[Dict[str, object]] = None
+    #: Harness telemetry snapshot (:meth:`repro.analysis.runner.
+    #: RunTelemetry.to_dict`) when the run went through an
+    #: instrumented ``run_jobs`` batch.
+    telemetry: Optional[Dict[str, object]] = None
     schema: int = REPORT_SCHEMA_VERSION
 
     @classmethod
@@ -65,6 +75,7 @@ class RunReport:
         engine: str = "modular",
         wall_clock_s: float = 0.0,
         workload_params: Optional[Dict[str, object]] = None,
+        telemetry: Optional[Dict[str, object]] = None,
     ) -> "RunReport":
         """Build the report for one ``run_variant`` outcome."""
         from repro.analysis.runner import code_version
@@ -89,6 +100,9 @@ class RunReport:
             wall_clock_s=round(wall_clock_s, 4),
             metrics=metrics,
             workload_params=dict(workload_params or {}),
+            intervals=result.intervals,
+            heatmap=result.heatmap,
+            telemetry=telemetry,
         )
 
     # -- (de)serialization --------------------------------------------------

@@ -1,0 +1,274 @@
+"""Stream-derived observability: the probe-bus surface, in batch.
+
+The op-stream interpreter (:func:`repro.sim.opstream.execute_stream`)
+never materialises op objects, so it cannot publish probe events — and
+wrapping it in per-op callbacks would forfeit exactly the 100x+ it
+exists for.  This module closes the gap the other way round: it
+*derives* each observer's end state directly from the stream's numpy
+arrays plus the memoised :class:`~repro.sim.opstream._SchedulePlan`,
+with a handful of vectorised passes (``searchsorted`` bucketing into
+intervals, ``bincount`` per-core and per-line rollups) instead of one
+Python call per event.
+
+Exactness contract (pinned by ``tests/obs/test_streamobs.py``): for
+every derivable observer, the populated instance is indistinguishable
+from the same observer attached to a probed replay machine running the
+identical point through the general scheduling loop —
+
+* :func:`derive_sampler` — same ``series()``, ``totals()`` and
+  ``csv()`` output.  A replay run's only probe events are op
+  retirements (functional timing never stalls, replay hierarchies
+  never miss or write back), so the series is exactly the per-core op
+  columns plus ``fences``, and summing 1.0 per event is exact integer
+  float arithmetic — ``bincount`` reproduces it bit-for-bit.
+* :func:`derive_heatmap` — same region map, store/flush line counts
+  and (empty) writeback map, hence identical ``region_summary()`` /
+  ``to_dict()`` / ``csv()``.
+* :func:`derive_flame` — same (empty) stall attribution; provenance
+  Phase frames are replayed so even the internal frame stacks match.
+* :func:`derive_recorder` — a :class:`~repro.obs.recorder.
+  TraceRecorder` holding equal :class:`~repro.obs.events.OpExecuted`
+  objects (clocks from :func:`~repro.sim.opstream.op_end_cycles`, load
+  results recovered vectorised from store history + the initial
+  image), so :func:`repro.obs.perfetto.to_chrome_trace` renders the
+  identical document.  This one materialises per-op Python objects —
+  use it for trace export, not for bulk metrics.
+
+Because streams encode trigger-free replay runs, the derivation is
+also *complete*: there is no stall, hazard, writeback, read or cleaner
+event a probed replay run would have seen that the derived observers
+miss.  Timing-model attribution (stall flames with cycles in them, MC
+queue dynamics) inherently needs a full machine — ``run_variant``
+reports that as a fallback reason instead of silently downgrading
+(see :func:`repro.analysis.experiments.stream_fallback_reason`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.obs.events import OpExecuted
+from repro.obs.intervals import IntervalSampler
+from repro.obs.profile import StallFlame, WriteHeatmap
+from repro.obs.recorder import TraceRecorder
+from repro.sim.config import LINE_BYTES
+from repro.sim.isa import (
+    OP_BARRIER,
+    OP_FENCE,
+    OP_FLUSH,
+    OP_FLUSHWB,
+    OP_LOAD,
+    OP_PHASE,
+    OP_STORE,
+)
+from repro.sim.opstream import (
+    _OP_COST,
+    OpStream,
+    _gather_init,
+    op_end_cycles,
+    schedule_plan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.machine import Machine
+
+__all__ = [
+    "derive_sampler",
+    "derive_heatmap",
+    "derive_flame",
+    "derive_recorder",
+]
+
+
+def _bucket_counts(
+    ends: "np.ndarray[object, object]", interval: float
+) -> Dict[int, float]:
+    """``{bucket: count}`` for event end cycles, ``bincount``-style.
+
+    ``int(end // interval)`` per event, matching
+    :meth:`IntervalSampler._bucket` exactly (ends are non-negative, so
+    floor division and ``int()`` agree), then one bincount.
+    """
+    if ends.size == 0:
+        return {}
+    buckets = (ends // interval).astype(np.int64)
+    counts = np.bincount(buckets)
+    hot = np.flatnonzero(counts)
+    return {
+        int(b): float(counts[b]) for b in hot.tolist()
+    }
+
+
+def derive_sampler(stream: OpStream, interval: float) -> IntervalSampler:
+    """An :class:`IntervalSampler` as a probed replay run would fill it.
+
+    Only op-retirement columns exist (``ops.core<i>`` and ``fences``):
+    replay machines never stall, never miss, and never touch the MC,
+    so those are the only probe events the reference run publishes.
+    """
+    sampler = IntervalSampler(interval)
+    ends = op_end_cycles(stream)
+    code = stream.code
+    published = code != np.int8(OP_BARRIER)  # Barrier never reaches a core
+    for core in range(stream.num_threads):
+        col = _bucket_counts(
+            ends[published & (stream.cid == np.int32(core))],
+            sampler.interval,
+        )
+        if col:
+            sampler._sum[f"ops.core{core}"] = col
+    fence_col = _bucket_counts(
+        ends[code == np.int8(OP_FENCE)], sampler.interval
+    )
+    if fence_col:
+        sampler._sum["fences"] = fence_col
+    return sampler
+
+
+def _line_counts(
+    addrs: "np.ndarray[object, object]"
+) -> Dict[int, int]:
+    """``{line: count}`` over element addresses, one vectorised pass."""
+    if addrs.size == 0:
+        return {}
+    lines = addrs & ~np.int64(LINE_BYTES - 1)
+    uniq, counts = np.unique(lines, return_counts=True)
+    return dict(zip(uniq.tolist(), counts.tolist()))
+
+
+def derive_heatmap(stream: OpStream, machine: "Machine") -> WriteHeatmap:
+    """A :class:`WriteHeatmap` as a probed replay run would fill it.
+
+    ``machine`` supplies the allocator region map the observer would
+    have captured in ``on_attach`` (any machine bound to the same
+    point works — the map is fixed at bind time).  The writeback map
+    stays empty: replay hierarchies never produce MC traffic.
+    """
+    heatmap = WriteHeatmap()
+    heatmap.on_attach(machine)
+    code = stream.code
+    heatmap._line_stores = _line_counts(
+        stream.addr[code == np.int8(OP_STORE)]
+    )
+    flush_mask = (code == np.int8(OP_FLUSH)) | (code == np.int8(OP_FLUSHWB))
+    heatmap._line_flushes = _line_counts(stream.addr[flush_mask])
+    return heatmap
+
+
+def derive_flame(
+    stream: OpStream, root: Optional[str] = None
+) -> StallFlame:
+    """A :class:`StallFlame` as a probed replay run would fill it.
+
+    Trivially empty of charges — functional timing never stalls — but
+    the per-core provenance frame stacks are replayed from the
+    stream's Phase ops so the instance state matches the reference
+    observer exactly, not just its public totals.
+    """
+    flame = StallFlame(root=root)
+    phase_pos = np.flatnonzero(stream.code == np.int8(OP_PHASE))
+    if phase_pos.size:
+        cids = stream.cid[phase_pos].tolist()
+        auxes = stream.aux[phase_pos].tolist()
+        labels = stream.labels
+        for cid, aux in zip(cids, auxes):
+            stack = flame._stacks.setdefault(int(cid), [])
+            if aux >= 0:
+                stack.append(labels[aux])
+            elif stack:
+                stack.pop()
+    return flame
+
+
+def _load_results(
+    stream: OpStream, machine: "Machine"
+) -> Dict[int, float]:
+    """``{stream row -> loaded value}`` for every Load in the stream.
+
+    A load observes the last store to its address earlier in the
+    stream (global order *is* execution order) or, absent one, the
+    initial architectural image.  Recovered with one sort-free
+    ``searchsorted`` over combined ``(dense address, position)`` keys.
+    """
+    plan = schedule_plan(stream)
+    init = _gather_init(stream, plan, machine)
+    code = stream.code
+    load_pos = np.flatnonzero(code == np.int8(OP_LOAD))
+    if load_pos.size == 0:
+        return {}
+    store_pos = np.flatnonzero(code == np.int8(OP_STORE))
+    load_dense = np.searchsorted(plan.uniq_addrs, stream.addr[load_pos])
+
+    n = int(code.shape[0]) + 1
+    out: Dict[int, float] = {}
+    if store_pos.size:
+        # Stores keyed (dense, position): within one dense address the
+        # positions ascend, so lexsort order == sorted combined keys.
+        store_keys = plan.store_dense * n + store_pos
+        order = np.argsort(store_keys, kind="stable")
+        sorted_keys = store_keys[order]
+        sorted_values = plan.store_value[order]
+        idx = np.searchsorted(sorted_keys, load_dense * n + load_pos) - 1
+        prev_dense = np.where(idx >= 0, sorted_keys[idx] // n, -1)
+        hit = (idx >= 0) & (prev_dense == load_dense)
+        for row, ok, j, dense in zip(
+            load_pos.tolist(), hit.tolist(), idx.tolist(),
+            load_dense.tolist(),
+        ):
+            if ok:
+                out[row] = float(sorted_values[j])
+            else:
+                if not init.arch_present[dense]:
+                    raise SimulationError(
+                        "stream loads an address absent from the "
+                        "machine's initial image; derive on a machine "
+                        "bound to the stream's own point"
+                    )
+                out[row] = float(init.arch_values[dense])
+    else:
+        for row, dense in zip(load_pos.tolist(), load_dense.tolist()):
+            if not init.arch_present[dense]:
+                raise SimulationError(
+                    "stream loads an address absent from the machine's "
+                    "initial image; derive on a machine bound to the "
+                    "stream's own point"
+                )
+            out[row] = float(init.arch_values[dense])
+    return out
+
+
+def derive_recorder(
+    stream: OpStream, machine: "Machine"
+) -> TraceRecorder:
+    """A :class:`TraceRecorder` as a probed replay run would fill it.
+
+    ``machine`` must hold the point's *pre-run* memory image (a fresh
+    bound machine, or any machine whose stream already memoised its
+    init image via :func:`~repro.sim.opstream.execute_stream`) — load
+    results are recovered against it.  The recorder materialises one
+    :class:`OpExecuted` per non-Barrier row, so this is the one
+    derivation with per-op Python cost; it exists to feed
+    :func:`repro.obs.perfetto.to_chrome_trace` unchanged.
+    """
+    recorder = TraceRecorder()
+    ends = op_end_cycles(stream)
+    starts = ends - _OP_COST[stream.code.astype(np.int64)]
+    results = _load_results(stream, machine)
+    code = stream.code.tolist()
+    ops = recorder.ops
+    for row, (cid, op) in enumerate(stream.decode()):
+        if code[row] == OP_BARRIER:
+            continue
+        ops.append(
+            OpExecuted(
+                core_id=cid,
+                op=op,
+                result=results.get(row),
+                start=float(starts[row]),
+                end=float(ends[row]),
+            )
+        )
+    return recorder

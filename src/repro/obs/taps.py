@@ -32,8 +32,12 @@ methods, so:
 
 Channels nobody subscribed to are not tapped at all (``ProbeBus.wants``).
 
-Replay machines (``Machine(_replay=True)``) inline their op handlers
-and bypass every tap point, so attaching to one is refused.
+Replay machines (``Machine(_replay=True)``) may be tapped too: a
+probed replay machine takes the general scheduling loop instead of the
+inlined ``_run_replay`` fast path (the two interleave identically), so
+every op still crosses ``Core.execute``.  That probed replay run is
+the reconciliation reference the stream-derived observers in
+:mod:`repro.obs.streamobs` are pinned against.
 """
 
 from __future__ import annotations
@@ -86,11 +90,6 @@ def attach_probes(machine: Machine, bus: ProbeBus) -> ProbeBus:
     ``machine.cleaner`` is installed — a cleaner added later is not
     tapped).  Returns ``bus`` for chaining.
     """
-    if machine.replay:
-        raise ConfigError(
-            "replay machines inline their op handlers and bypass the "
-            "probe tap points; attach probes to a full machine"
-        )
     if getattr(machine, _SESSION_ATTR, None) is not None:
         raise ConfigError("machine already has probes attached")
 

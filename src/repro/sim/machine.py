@@ -100,8 +100,11 @@ class Machine:
     Observability (:mod:`repro.obs`) taps a machine by shadowing a
     fixed set of component methods with per-instance wrappers (parked
     under ``_probe_session``); an untapped machine runs the unmodified
-    class methods — no hot-path branches.  Replay machines inline
-    their op handlers and cannot be tapped.
+    class methods — no hot-path branches.  A *probed* replay machine
+    takes the general scheduling loop instead of the inlined
+    ``_run_replay`` fast path (the two interleave identically), so the
+    taps still see every op; stream runs derive the same surface in
+    batch via :mod:`repro.obs.streamobs`.
     """
 
     def __init__(
@@ -252,10 +255,14 @@ class Machine:
             and self.cleaner is None
             and self.on_mark is None
             and not self.config.schedule_jitter
+            and getattr(self, "_probe_session", None) is None
         ):
             # Replay machines with no triggers take the tight loop;
             # its interleaving exactly matches this general loop (see
-            # _run_replay), so the choice is pure mechanics.
+            # _run_replay), so the choice is pure mechanics.  Probed
+            # replay machines stay on the general loop so the taps see
+            # every op — that run is the reconciliation reference for
+            # the stream-derived observability layer.
             return self._run_replay(gens)
 
         heap: List = []

@@ -138,6 +138,11 @@ class OpStream:
     _init: Optional["_InitImage"] = field(
         default=None, repr=False, compare=False
     )
+    #: Per-op functional end clocks (see :func:`op_end_cycles`), built
+    #: on demand by the stream-derived observability layer.
+    _op_end: Optional["np.ndarray[Any, Any]"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return int(self.code.shape[0])
@@ -467,6 +472,92 @@ def _build_plan(stream: OpStream) -> _SchedulePlan:
     )
 
 
+def schedule_plan(stream: OpStream) -> _SchedulePlan:
+    """The stream's memoised :class:`_SchedulePlan`, built on demand.
+
+    The plan depends only on the stream itself, so it is shared between
+    the interpreter (:func:`execute_stream`) and the stream-derived
+    observability layer (:mod:`repro.obs.streamobs`).
+    """
+    plan = stream._plan
+    if plan is None:
+        plan = _build_plan(stream)
+        stream._plan = plan
+    return plan
+
+
+def op_end_cycles(stream: OpStream) -> "np.ndarray[Any, Any]":
+    """Per-op functional end clocks, one float64 per stream row.
+
+    ``op_end_cycles(stream)[i]`` is the issuing core's clock *after*
+    row ``i`` executes under the replay schedule — exactly the ``end``
+    field the probe bus publishes in ``OpExecuted`` when the same run
+    goes through the general loop on a probed replay machine (the op's
+    start is ``end - cost``, where free ops cost zero).  Built with the
+    same barrier-round bookkeeping as :func:`_reconstruct_cycles`: each
+    core's clock is an inclusive prefix sum of costed ops plus a
+    per-round offset, where a barrier round parks every core that still
+    has a barrier in its stream and releases them all at the latest
+    arrival; Barrier rows themselves end at the release clock.
+
+    Memoised on the stream (``stream._op_end``); treat the returned
+    array as read-only.
+    """
+    cached = stream._op_end
+    if cached is not None:
+        return cached
+    code = stream.code.astype(np.int64)
+    cid = stream.cid.astype(np.int64)
+    num_threads = stream.num_threads
+    cost = _OP_COST[code]
+    n = int(code.shape[0])
+
+    # Inclusive per-core prefix sums of op cost, in stream order.
+    local = np.zeros(n, dtype=np.float64)
+    core_positions: List["np.ndarray[Any, Any]"] = []
+    for core in range(num_threads):
+        pos = np.flatnonzero(cid == core)
+        core_positions.append(pos)
+        local[pos] = np.cumsum(cost[pos])
+
+    ends = local.copy()
+    barrier_pos = np.flatnonzero(code == OP_BARRIER)
+    if barrier_pos.size:
+        barrier_cid = cid[barrier_pos]
+        rounds = int(np.bincount(barrier_cid, minlength=num_threads).max())
+        pos_by_round = np.full((rounds, num_threads), -1, dtype=np.int64)
+        seen = [0] * num_threads
+        for pos_i, core in zip(barrier_pos.tolist(), barrier_cid.tolist()):
+            pos_by_round[seen[core]][core] = pos_i
+            seen[core] += 1
+        # offsets[c][k] is core c's clock offset after its k-th barrier
+        # (k = 0: before any barrier); releases[r] is round r's release.
+        offset = np.zeros(num_threads, dtype=np.float64)
+        offsets: List[List[float]] = [[0.0] for _ in range(num_threads)]
+        releases = np.zeros(rounds, dtype=np.float64)
+        for r in range(rounds):
+            parked = np.flatnonzero(pos_by_round[r] >= 0)
+            arrive = offset[parked] + local[pos_by_round[r][parked]]
+            release = float(arrive.max())
+            releases[r] = release
+            offset[parked] = release - local[pos_by_round[r][parked]]
+            for c in parked.tolist():
+                offsets[c].append(float(offset[c]))
+        for core in range(num_threads):
+            pos = core_positions[core]
+            if pos.size == 0:
+                continue
+            own_barriers = pos_by_round[:, core]
+            own_barriers = own_barriers[own_barriers >= 0]
+            k = np.searchsorted(own_barriers, pos, side="left")
+            ends[pos] = np.asarray(offsets[core], dtype=np.float64)[k] + local[pos]
+        for r in range(rounds):
+            parked_rows = pos_by_round[r][pos_by_round[r] >= 0]
+            ends[parked_rows] = releases[r]
+    stream._op_end = ends
+    return ends
+
+
 @dataclass
 class _InitImage:
     """The machine's pre-run memory image, gathered into the dense
@@ -558,10 +649,7 @@ def execute_stream(machine: "Machine", stream: OpStream) -> "RunResult":
             "op streams replay whole runs; execute on a fresh machine"
         )
 
-    plan = stream._plan
-    if plan is None:
-        plan = _build_plan(stream)
-        stream._plan = plan
+    plan = schedule_plan(stream)
     init = _gather_init(stream, plan, machine)
 
     # -- memory semantics: batched stores, vectorised persists ---------

@@ -1,0 +1,115 @@
+"""The HTML dashboard: reports + harness telemetry, one static page."""
+
+import pytest
+
+from repro.analysis.experiments import run_variant
+from repro.errors import ConfigError
+from repro.obs import RunReport, render_dashboard
+from repro.sim.config import tiny_machine
+
+from tests.analysis.test_stream_tier import _wl
+
+TELEMETRY = {
+    "workers": 2,
+    "wall_clock_s": 0.5,
+    "spans": [
+        {"label": "tmm/lp", "status": "run",
+         "start_s": 0.0, "end_s": 0.4, "wall_s": 0.4},
+        {"label": "tmm/ep", "status": "hit",
+         "start_s": 0.4, "end_s": 0.41, "wall_s": 0.01},
+    ],
+    "cache": {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0,
+              "hit_rate": 0.5},
+    "summary": {"jobs": 2, "hits": 1, "runs": 1, "workers": 2,
+                "wall_clock_s": 0.5, "busy_s": 0.41,
+                "utilization": 0.41,
+                "cache": {"hit_rate": 0.5}},
+}
+
+
+@pytest.fixture(scope="module")
+def obs_report():
+    """A stream-tier run with the full derived surface in the manifest."""
+    config = tiny_machine()
+    result = run_variant(
+        _wl(), config, "lp", num_threads=2,
+        obs_interval=500.0, tier="stream",
+    )
+    return RunReport.from_result(
+        result, config, wall_clock_s=0.2, telemetry=TELEMETRY
+    )
+
+
+class TestRenderDashboard:
+    def test_is_a_self_contained_document(self, obs_report):
+        page = render_dashboard([obs_report])
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.endswith("</html>")
+        assert "<script" not in page  # static: renders anywhere
+        assert "http" not in page.split("</style>")[1]  # no external assets
+
+    def test_report_card_content(self, obs_report):
+        page = render_dashboard([obs_report])
+        assert "tmm/lp" in page
+        assert "exec cycles" in page
+        # Interval sparklines and heatmap bars made it in as inline SVG.
+        assert "<polyline" in page
+        assert "ops.core0" in page
+        assert "write heatmap" in page
+        assert "<rect" in page
+
+    def test_telemetry_section(self, obs_report):
+        page = render_dashboard([obs_report], telemetry=TELEMETRY)
+        assert "Harness telemetry" in page
+        assert "job timeline" in page
+        assert "span-hit" in page and "span-run" in page
+        assert "cache hit rate" in page
+
+    def test_telemetry_falls_back_to_report_snapshot(self, obs_report):
+        assert obs_report.telemetry is not None
+        page = render_dashboard([obs_report])
+        assert "Harness telemetry" in page
+
+    def test_telemetry_only_page(self):
+        page = render_dashboard([], telemetry=TELEMETRY)
+        assert "Harness telemetry" in page
+        assert "Runs" not in page
+
+    def test_comparison_table_for_multiple_reports(self, obs_report):
+        other = RunReport.from_dict(obs_report.to_dict())
+        other.variant = "ep"
+        page = render_dashboard([obs_report, other])
+        assert "Metric comparison" in page
+        assert "tmm/ep" in page
+
+    def test_nothing_to_render_rejected(self):
+        with pytest.raises(ConfigError):
+            render_dashboard([])
+
+    def test_labels_are_escaped(self, obs_report):
+        hostile = RunReport.from_dict(obs_report.to_dict())
+        hostile.variant = "<script>alert(1)</script>"
+        page = render_dashboard([hostile])
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+
+
+class TestReportObsFields:
+    def test_round_trip_preserves_derived_surface(
+        self, obs_report, tmp_path
+    ):
+        path = tmp_path / "obs.report.json"
+        obs_report.save(str(path))
+        loaded = RunReport.load(str(path))
+        assert loaded == obs_report
+        assert loaded.intervals == obs_report.intervals
+        assert loaded.heatmap == obs_report.heatmap
+        assert loaded.telemetry == TELEMETRY
+
+    def test_plain_reports_omit_nothing_silently(self):
+        config = tiny_machine()
+        result = run_variant(_wl(), config, "lp", num_threads=2)
+        report = RunReport.from_result(result, config, wall_clock_s=0.1)
+        assert report.intervals is None
+        assert report.heatmap is None
+        assert report.telemetry is None

@@ -1,0 +1,228 @@
+"""Exact reconciliation: stream-derived observers vs the probe bus.
+
+:mod:`repro.obs.streamobs` derives each observer's end state from an
+op stream's numpy arrays in batch.  The contract is *bit*
+reconciliation: for every registry workload x variant, under both
+timing-model configs, the derived instance must be indistinguishable
+from the same observer attached to a probed replay machine running the
+identical point through the general scheduling loop — same
+``series()``, same ``to_dict()``, same internal stacks, same
+Chrome-trace document.  No sampling slop, no "close enough".
+
+A Hypothesis property extends the pin beyond the registry: for
+arbitrary op soups, the derived interval-series totals must equal the
+:class:`MachineStats` per-core counters the simulator kept itself.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    IntervalSampler,
+    StallFlame,
+    TraceRecorder,
+    WriteHeatmap,
+    derive_flame,
+    derive_heatmap,
+    derive_recorder,
+    derive_sampler,
+    probed,
+    to_chrome_trace,
+)
+from repro.sim.config import MachineConfig, tiny_machine
+from repro.sim.isa import Compute, Fence, Flush, FlushWB, Load, Store
+from repro.sim.machine import Machine
+from repro.sim.opstream import record_stream
+from repro.workloads import available_workloads, get_workload
+
+#: Crashcheck-sized problems: small enough that the full grid of
+#: (workload, variant, timing) cases stays fast.
+SMALL_PARAMS = {
+    "tmm": {"n": 8, "bsize": 4, "kk_tiles": 1},
+    "fft": {"n": 16},
+    "gauss": {"n": 8, "row_block": 4},
+    "cholesky": {"n": 8, "col_block": 4},
+    "conv2d": {"n": 8, "row_block": 2},
+    "log": {"records": 4, "width": 2, "wb_batch": 2},
+    "hashmap": {"capacity": 8, "ops": 6, "keys": 3, "wb_batch": 2},
+}
+
+INTERVAL = 500.0
+
+#: Both timing-model *configs*: replay machines force functional
+#: timing either way, but the derivation must reconcile regardless of
+#: what the config asked for — the tier decision must not leak into
+#: the derived numbers.
+CASES = [
+    (name, variant, timing)
+    for name in available_workloads()
+    for variant in get_workload(name).variants
+    for timing in ("detailed", "functional")
+]
+
+
+def _bound_replay(name, variant, timing):
+    config = tiny_machine()
+    if timing != config.timing:
+        config = config.with_timing(timing)
+    machine = Machine(config, _replay=True)
+    wl = get_workload(name)(**SMALL_PARAMS.get(name, {}))
+    bound = wl.bind(machine, num_threads=2, engine="modular")
+    # Provenance on: Phase frames must survive the stream round trip
+    # into the derived flame and recorder, not just the counters.
+    bound.provenance = True
+    return machine, bound
+
+
+@pytest.fixture(scope="module")
+def reconciled_runs():
+    """For every case: the probed-replay reference observers plus the
+    stream-derived ones, built from the same point."""
+    runs = {}
+    for name, variant, timing in CASES:
+        machine, bound = _bound_replay(name, variant, timing)
+        recorder = TraceRecorder()
+        sampler = IntervalSampler(INTERVAL)
+        heatmap = WriteHeatmap()
+        flame = StallFlame(root=f"{name}/{variant}")
+        with probed(machine, [recorder, sampler, heatmap, flame]):
+            machine.run(bound.threads(variant))
+
+        m_rec, b_rec = _bound_replay(name, variant, timing)
+        stream, _ = record_stream(m_rec, b_rec.threads(variant))
+        m_fresh, _ = _bound_replay(name, variant, timing)
+        derived = {
+            "sampler": derive_sampler(stream, INTERVAL),
+            "heatmap": derive_heatmap(stream, m_rec),
+            "flame": derive_flame(stream, root=f"{name}/{variant}"),
+            "recorder": derive_recorder(stream, m_fresh),
+        }
+        reference = {
+            "sampler": sampler,
+            "heatmap": heatmap,
+            "flame": flame,
+            "recorder": recorder,
+        }
+        runs[(name, variant, timing)] = (reference, derived)
+    return runs
+
+
+@pytest.mark.parametrize("name,variant,timing", CASES)
+class TestStreamReconciliation:
+    def test_sampler_series_identical(
+        self, reconciled_runs, name, variant, timing
+    ):
+        ref, derived = reconciled_runs[(name, variant, timing)]
+        assert derived["sampler"].series() == ref["sampler"].series()
+        assert derived["sampler"].totals() == ref["sampler"].totals()
+        assert derived["sampler"].csv() == ref["sampler"].csv()
+
+    def test_heatmap_identical(
+        self, reconciled_runs, name, variant, timing
+    ):
+        ref, derived = reconciled_runs[(name, variant, timing)]
+        assert derived["heatmap"].to_dict() == ref["heatmap"].to_dict()
+        assert (
+            derived["heatmap"].region_summary()
+            == ref["heatmap"].region_summary()
+        )
+        assert derived["heatmap"].csv() == ref["heatmap"].csv()
+
+    def test_flame_identical(
+        self, reconciled_runs, name, variant, timing
+    ):
+        ref, derived = reconciled_runs[(name, variant, timing)]
+        assert derived["flame"].to_dict() == ref["flame"].to_dict()
+        assert derived["flame"].collapsed() == ref["flame"].collapsed()
+        # Internal provenance stacks too — the derivation replays
+        # Phase push/pop, it doesn't just fake the public totals.
+        assert derived["flame"]._stacks == ref["flame"]._stacks
+
+    def test_recorder_and_chrome_trace_identical(
+        self, reconciled_runs, name, variant, timing
+    ):
+        ref, derived = reconciled_runs[(name, variant, timing)]
+        assert derived["recorder"].ops == ref["recorder"].ops
+        assert to_chrome_trace(derived["recorder"]) == to_chrome_trace(
+            ref["recorder"]
+        )
+
+    def test_replay_reference_is_eventless_beyond_ops(
+        self, reconciled_runs, name, variant, timing
+    ):
+        # The completeness half of the contract: the probed replay run
+        # publishes nothing but op retirements, so deriving only op
+        # state loses no events.
+        ref, _ = reconciled_runs[(name, variant, timing)]
+        assert ref["recorder"].stalls == []
+        assert ref["recorder"].hazards == []
+        assert ref["recorder"].writebacks == []
+        assert ref["recorder"].nvmm_reads == []
+
+
+# ----------------------------------------------------------------------
+# property pin (Hypothesis): derived totals == MachineStats counters
+# ----------------------------------------------------------------------
+
+NUM_ELEMS = 16
+
+#: Only ops with CoreStats counters: RegionMark/Phase retire without
+#: touching any per-core counter, so they'd make the reconciled
+#: population ragged (they ARE covered by the registry grid above).
+op_strategy = st.tuples(
+    st.sampled_from(["load", "store", "compute", "flush", "flushwb",
+                     "fence"]),
+    st.integers(min_value=0, max_value=NUM_ELEMS - 1),
+    st.integers(min_value=1, max_value=100),
+)
+scripts = st.lists(
+    st.lists(op_strategy, min_size=1, max_size=20),
+    min_size=1,
+    max_size=3,
+)
+
+
+def _script_ops(region, script):
+    for kind, idx, value in script:
+        addr = region.addr(idx)
+        if kind == "load":
+            yield Load(addr)
+        elif kind == "store":
+            yield Store(addr, float(value))
+        elif kind == "compute":
+            yield Compute(value, "work")
+        elif kind == "flush":
+            yield Flush(addr)
+        elif kind == "flushwb":
+            yield FlushWB(addr)
+        else:
+            yield Fence()
+
+
+@given(scripts)
+@settings(max_examples=40, deadline=None)
+def test_derived_interval_totals_equal_machine_counters(script_set):
+    """For arbitrary op soups, summing the derived interval series
+    must reproduce the per-core counters in :class:`MachineStats`."""
+    machine = Machine(
+        MachineConfig(num_cores=len(script_set)), _replay=True
+    )
+    region = machine.alloc("a", NUM_ELEMS)
+    stream, result = record_stream(
+        machine, [_script_ops(region, s) for s in script_set]
+    )
+    totals = derive_sampler(stream, 100.0).totals()
+
+    stats = result.stats
+    assert totals.get("fences", 0) == sum(
+        c.fences for c in stats.per_core
+    )
+    for cid, core in enumerate(stats.per_core):
+        ops = (
+            core.loads + core.stores + core.computes + core.fences
+            + core.flushes
+        )
+        assert totals.get(f"ops.core{cid}", 0) == ops, f"core {cid}"
+    assert sum(
+        v for k, v in totals.items() if k.startswith("ops.core")
+    ) == result.ops_executed

@@ -77,10 +77,40 @@ class TestAttachDetach:
         attach_probes(machine, ProbeBus([TraceRecorder()]))
         detach_probes(machine)
 
-    def test_replay_machine_refused(self):
+    def test_replay_machine_attachable_and_probed_run_records(self):
+        # Probed replay machines take the general scheduling loop (the
+        # _run_replay fast path checks for an active probe session), so
+        # the taps see every op — this run is the reconciliation
+        # reference for the stream-derived observers.
+        wl = get_workload("tmm")(**TINY_PARAMS)
         machine = Machine(tiny_machine(), _replay=True)
-        with pytest.raises(ConfigError):
-            attach_probes(machine, ProbeBus([TraceRecorder()]))
+        bound = wl.bind(machine, num_threads=2, engine="modular")
+        recorder = TraceRecorder()
+        with probed(machine, [recorder]):
+            result = machine.run(bound.threads("lp"))
+        # Barrier ops never reach a core; everything else does.
+        assert 0 < len(recorder.ops) <= result.ops_executed
+        # Replay machines never stall or touch the MC.
+        assert recorder.stalls == []
+        assert recorder.writebacks == []
+        assert recorder.nvmm_reads == []
+
+    def test_probed_replay_run_matches_unprobed_fast_path(self):
+        wl = get_workload("tmm")(**TINY_PARAMS)
+
+        plain = Machine(tiny_machine(), _replay=True)
+        bound = wl.bind(plain, num_threads=2, engine="modular")
+        r_plain = plain.run(bound.threads("lp"))
+
+        tapped = Machine(tiny_machine(), _replay=True)
+        bound2 = wl.bind(tapped, num_threads=2, engine="modular")
+        with probed(tapped, [TraceRecorder()]):
+            r_tapped = tapped.run(bound2.threads("lp"))
+
+        assert r_plain.stats.summary() == r_tapped.stats.summary()
+        assert r_plain.ops_executed == r_tapped.ops_executed
+        assert plain.mem.arch == tapped.mem.arch
+        assert plain.mem.persistent == tapped.mem.persistent
 
 
 class TestIsolation:

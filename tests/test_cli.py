@@ -474,3 +474,95 @@ class TestLitmus:
         rc = main(["litmus", "--replay", str(report)])
         assert rc == 0  # still diverges: the report is faithful
         assert "still diverges" in capsys.readouterr().out
+
+
+class TestStreamTierCLI:
+    TINY = TestObservability.TINY
+
+    def test_tier_flag_defaults_to_machine(self):
+        assert build_parser().parse_args(["run", "tmm"]).tier == "machine"
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "tmm", "--tier", "gpu"])
+
+    def test_stream_tier_run_reports_path(self, capsys, tmp_path):
+        out = tmp_path / "lp-stream.report.json"
+        rc = main(["run", "tmm", *self.TINY, "--tier", "stream",
+                   "--obs-interval", "500", "--report-out", str(out)])
+        assert rc == 0
+        assert "[observability: stream path]" in capsys.readouterr().out
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["intervals"]["interval"] == 500.0
+        assert doc["heatmap"]["regions"]
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_stream_tier_fallback_is_reported(self, capsys):
+        rc = main(["run", "tmm", *self.TINY, "--tier", "stream",
+                   "--obs-interval", "500", "--cleaner-period", "200"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[stream tier fell back:" in out
+        assert "[observability: probe-bus path]" in out
+
+
+class TestDashboardCLI:
+    TINY = TestObservability.TINY
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["dashboard", "a.json"])
+        assert args.reports == ["a.json"]
+        assert args.out == "dashboard.html"
+        assert args.telemetry is None
+
+    def _report(self, tmp_path, variant="lp"):
+        path = tmp_path / f"{variant}.report.json"
+        assert main(["run", "tmm", *self.TINY, "--variant", variant,
+                     "--obs-interval", "500",
+                     "--report-out", str(path)]) == 0
+        return str(path)
+
+    def test_renders_reports_to_html(self, capsys, tmp_path):
+        paths = [self._report(tmp_path, v) for v in ("lp", "ep")]
+        out = tmp_path / "dash.html"
+        capsys.readouterr()
+        assert main(["dashboard", *paths, "-o", str(out)]) == 0
+        page = out.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "tmm/lp" in page and "tmm/ep" in page
+        assert "Metric comparison" in page
+        assert str(out) in capsys.readouterr().out
+
+    def test_accepts_sweep_telemetry(self, capsys, tmp_path):
+        report = self._report(tmp_path)
+        telemetry = tmp_path / "telemetry.json"
+        assert main(["sweep", "checksum", "tmm", "--threads", "2",
+                     "-p", "n=16", "--no-cache",
+                     "--telemetry-out", str(telemetry)]) == 0
+        out = tmp_path / "dash.html"
+        capsys.readouterr()
+        assert main(["dashboard", report, "--telemetry", str(telemetry),
+                     "-o", str(out)]) == 0
+        page = out.read_text()
+        assert "Harness telemetry" in page
+        assert "job timeline" in page
+
+    def test_nothing_to_render_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["dashboard", "-o", str(tmp_path / "d.html")])
+
+    def test_malformed_telemetry_fails(self, tmp_path):
+        report = self._report(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(SystemExit):
+            main(["dashboard", report, "--telemetry", str(bad)])
+
+    def test_sweep_prints_harness_summary(self, capsys, tmp_path):
+        assert main(["sweep", "checksum", "tmm", "--threads", "2",
+                     "-p", "n=16", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[harness:" in out
+        assert "worker(s)" in out
