@@ -52,6 +52,14 @@ class CrashCampaignResult:
             return 0.0
         return sum(t.recovery_ops for t in crashed) / len(crashed)
 
+    def coverage(self):
+        """This campaign's :class:`~repro.obs.coverage.CoverageStats`:
+        one schedule image checked per trial (the single-image path),
+        so total images equal the trial count."""
+        from repro.obs.coverage import coverage_of_campaign
+
+        return coverage_of_campaign(self)
+
 
 def run_crash_campaign(
     workload: Workload,
@@ -165,6 +173,8 @@ def run_crashcheck_campaign(
     cache=None,
     timing: Optional[str] = None,
     replay: bool = True,
+    journal_path: Optional[str] = None,
+    progress: bool = False,
 ):
     """Crash-state checking across variants, through the PR-1 engine.
 
@@ -182,6 +192,13 @@ def run_crashcheck_campaign(
     per-image recovery on replay machines — exact for the recovery
     verdict and the campaign's hot path; ``False`` restores
     full-machine recovery runs (benchmarking / belt-and-suspenders).
+
+    ``journal_path``/``progress`` stream per-crash-point
+    ``campaign_point`` events from the workers (a shared append-only
+    JSONL file / stderr ticks); both are deliberately *not* part of
+    the job cache key, so journaled campaigns hit the same cache
+    entries as silent ones.  Cached variants emit no point events —
+    their spans still reach the journal via ``run_jobs`` telemetry.
     """
     from repro.analysis.runner import CrashCheckJob, run_jobs
     from repro.verify import CrashCheckReport, plan_to_dict
@@ -212,6 +229,8 @@ def run_crashcheck_campaign(
                 engine=engine,
                 cleaner_period=cleaner_period,
                 replay=replay,
+                journal_path=journal_path,
+                progress=progress,
             )
         )
     reports = run_jobs(

@@ -262,6 +262,13 @@ class CrashCheckJob:
     #: Per-image recovery on replay machines (exact and much faster;
     #: False restores full-machine recovery runs for benchmarking).
     replay: bool = True
+    #: Streaming-observability plumbing: an append-only JSONL journal
+    #: the worker writes ``campaign_point`` events to, and/or stderr
+    #: progress ticks.  Neither changes the campaign's outcome, so
+    #: neither appears in ``cache_key()`` — a journaled run and a
+    #: silent run share one cache entry.
+    journal_path: Optional[str] = None
+    progress: bool = False
 
     def cache_key(self) -> str:
         """Content-addressed identity of this campaign's report.
@@ -309,6 +316,15 @@ class CrashCheckJob:
             np.random.seed(seed % (2**32))
         except ImportError:  # pragma: no cover - numpy is a hard dep
             pass
+        journal = None
+        if self.journal_path is not None or self.progress:
+            # Imported lazily: silent campaigns never load the obs
+            # package inside pool workers.
+            from repro.obs.journal import TelemetryJournal
+
+            journal = TelemetryJournal(
+                path=self.journal_path, progress=self.progress
+            )
         return check_variant(
             self.workload,
             self.config,
@@ -323,6 +339,7 @@ class CrashCheckJob:
             engine=self.engine,
             cleaner_period=self.cleaner_period,
             replay=self.replay,
+            journal=journal,
         )
 
 
@@ -396,7 +413,23 @@ class RunTelemetry:
     wall_clock_s: float = 0.0
     spans: List[Dict[str, object]] = field(default_factory=list)
     cache: Optional[Dict[str, object]] = None
+    #: Optional streaming sink (``emit(kind, **fields)``, e.g. a
+    #: :class:`repro.obs.journal.TelemetryJournal`): every recorded
+    #: span is also emitted as a ``job_span`` event, and each batch's
+    #: summary as a ``batch`` event, while the run is still going.
+    journal: Optional[object] = field(default=None, repr=False, compare=False)
     _epoch: Optional[float] = field(default=None, repr=False, compare=False)
+
+    def record_span(self, span: Dict[str, object]) -> None:
+        """Append one job span, streaming it to the journal if any."""
+        self.spans.append(span)
+        if self.journal is not None:
+            self.journal.emit("job_span", workers=self.workers, **span)
+
+    def record_batch(self) -> None:
+        """Stream the current batch summary to the journal if any."""
+        if self.journal is not None:
+            self.journal.emit("batch", **self.summary())
 
     def busy_s(self) -> float:
         """Total span wall clock (summed over workers)."""
@@ -744,7 +777,7 @@ def run_jobs(
             if hit is not None:
                 results[index] = hit
                 if telemetry is not None:
-                    telemetry.spans.append({
+                    telemetry.record_span({
                         "label": _job_label(job),
                         "status": "hit",
                         "start_s": round(probe_start - epoch, 6),
@@ -782,7 +815,7 @@ def run_jobs(
             if cache is not None:
                 cache.put(key, result)
             if telemetry is not None:
-                telemetry.spans.append({
+                telemetry.record_span({
                     "label": _job_label(pending_jobs[pending_index]),
                     "status": "run",
                     "start_s": round(start - epoch, 6),
@@ -797,6 +830,7 @@ def run_jobs(
         telemetry.wall_clock_s += time.time() - batch_start
         if cache is not None:
             telemetry.cache = cache.stats.to_dict()
+        telemetry.record_batch()
 
     return [r for r in results if r is not None]
 

@@ -457,29 +457,83 @@ def _cmd_report(args) -> int:
 
 def _cmd_dashboard(args) -> int:
     """Render RunReports + harness telemetry as one static HTML page."""
-    from repro.obs import RunReport, render_dashboard
+    import json
+
+    from repro.obs import RunReport, load_coverage_docs, render_dashboard
 
     reports = [RunReport.load(path) for path in args.reports]
     telemetry = None
     if args.telemetry:
-        import json
-
         with open(args.telemetry) as fh:
             telemetry = json.load(fh)
         if not isinstance(telemetry, dict):
             raise SystemExit(
                 f"{args.telemetry!r} is not a telemetry JSON object"
             )
-    if not reports and telemetry is None:
-        raise SystemExit("dashboard needs report files and/or --telemetry")
-    html = render_dashboard(reports, telemetry=telemetry)
+    coverage = []
+    for path in args.coverage or []:
+        with open(path) as fh:
+            try:
+                coverage.extend(load_coverage_docs(json.load(fh)))
+            except ValueError as exc:
+                raise SystemExit(f"{path!r}: {exc}") from None
+    if not reports and telemetry is None and not coverage:
+        raise SystemExit(
+            "dashboard needs report files, --telemetry, and/or --coverage"
+        )
+    html = render_dashboard(
+        reports, telemetry=telemetry, coverage=coverage or None
+    )
     with open(args.out, "w") as fh:
         fh.write(html)
     print(
         f"[dashboard: {len(reports)} report(s)"
         + (", telemetry" if telemetry is not None else "")
+        + (
+            f", {len(coverage)} coverage doc(s)" if coverage else ""
+        )
         + f" -> {args.out}]"
     )
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    """Tail a telemetry journal; re-render the dashboard on change.
+
+    The journal may still be written to (crashcheck/litmus/sweep with
+    ``--journal``): reads are torn-line tolerant, and each render is a
+    consistent snapshot of the events so far.  ``--once`` renders a
+    single snapshot; otherwise the watcher polls until ``--max-seconds``
+    elapses or it is interrupted.
+    """
+    from repro.obs import watch_once
+
+    def size() -> int:
+        try:
+            return os.path.getsize(args.journal)
+        except OSError:
+            return -1
+
+    rendered = watch_once(args.journal, args.out)
+    print(f"[watch: {rendered} event(s) -> {args.out}]")
+    if args.once:
+        return 0
+    deadline = (
+        time.monotonic() + args.max_seconds
+        if args.max_seconds is not None
+        else None
+    )
+    last = size()
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(args.interval)
+            current = size()
+            if current != last:
+                last = current
+                rendered = watch_once(args.journal, args.out)
+                print(f"[watch: {rendered} event(s) -> {args.out}]")
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -617,22 +671,35 @@ def _cmd_crashcheck(args) -> int:
         samples = max(samples, 256)
 
     cache = _cache(args)
-    reports = run_crashcheck_campaign(
-        workload,
-        config,
-        variants,
-        op_points=op_points,
-        max_flush_points=max_flush,
-        max_exhaustive_events=max_events,
-        samples=samples,
-        seed=args.seed,
-        num_threads=args.threads,
-        engine=args.engine,
-        cleaner_period=args.cleaner_period,
-        n_jobs=args.jobs,
-        cache=cache,
-        replay=not args.full_recovery,
-    )
+    telemetry = None
+    if args.journal:
+        # Stream harness job spans into the same journal the workers
+        # append their per-point coverage ticks to.
+        from repro.analysis.runner import RunTelemetry
+        from repro.obs import TelemetryJournal
+
+        telemetry = RunTelemetry(journal=TelemetryJournal(path=args.journal))
+    from repro.analysis.runner import collect_telemetry
+
+    with collect_telemetry(telemetry):
+        reports = run_crashcheck_campaign(
+            workload,
+            config,
+            variants,
+            op_points=op_points,
+            max_flush_points=max_flush,
+            max_exhaustive_events=max_events,
+            samples=samples,
+            seed=args.seed,
+            num_threads=args.threads,
+            engine=args.engine,
+            cleaner_period=args.cleaner_period,
+            n_jobs=args.jobs,
+            cache=cache,
+            replay=not args.full_recovery,
+            journal_path=args.journal,
+            progress=args.progress,
+        )
 
     rows = []
     ok_overall = True
@@ -676,12 +743,24 @@ def _cmd_crashcheck(args) -> int:
             title=f"{args.workload}: crash-state check",
         )
     )
+    coverages = {v: report.coverage() for v, report in reports.items()}
+    print()
+    for cov in coverages.values():
+        print(f"  [coverage] {cov.summary()}")
     for variant, report in reports.items():
         for cex in report.counterexamples[:3]:
             print(f"\n  {cex.describe()}")
         extra = len(report.counterexamples) - 3
         if extra > 0:
             print(f"  ... and {extra} more for {variant}")
+    if args.coverage_out:
+        import json
+
+        docs = {cov.label: cov.to_dict() for cov in coverages.values()}
+        with open(args.coverage_out, "w") as fh:
+            json.dump(docs, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n[coverage saved to {args.coverage_out}]")
     if args.cex_out:
         import json
 
@@ -759,11 +838,19 @@ def _cmd_litmus(args) -> int:
         f"{args.vars} vars)"
     )
 
+    journal = None
+    if args.journal:
+        from repro.obs import TelemetryJournal
+
+        journal = TelemetryJournal(path=args.journal)
+
     rows = []
     ok_overall = True
     all_reports = []
+    coverages = []
     for name in models:
-        verdict = check_model(name, programs)
+        verdict = check_model(name, programs, journal=journal)
+        coverages.append(verdict.coverage())
         broken = verdict.broken and not args.as_sound
         if broken:
             expected = "divergence" if verdict.ok else "MISSED BUG"
@@ -790,6 +877,15 @@ def _cmd_litmus(args) -> int:
             title="persistency-model litmus cross-check",
         )
     )
+    print()
+    for cov in coverages:
+        print(f"  [coverage] {cov.summary()}")
+    if args.coverage_out:
+        docs = {cov.label: cov.to_dict() for cov in coverages}
+        with open(args.coverage_out, "w") as fh:
+            json.dump(docs, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n[coverage saved to {args.coverage_out}]")
     for report in all_reports[:3]:
         shrunk = report.shrunk
         print(
@@ -858,7 +954,7 @@ def _cmd_reproduce(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.analysis.runner import collect_telemetry
+    from repro.analysis.runner import RunTelemetry, collect_telemetry
 
     wl = _workload(args)
     cfg = _machine(args)
@@ -866,7 +962,14 @@ def _cmd_sweep(args) -> int:
     engine_opts = dict(
         n_jobs=args.jobs, cache=cache, obs_interval=args.obs_interval
     )
-    with collect_telemetry() as telemetry:
+    sink = None
+    if args.journal:
+        # Stream each job span / batch summary as it happens, instead
+        # of (only) one telemetry document at exit.
+        from repro.obs import TelemetryJournal
+
+        sink = RunTelemetry(journal=TelemetryJournal(path=args.journal))
+    with collect_telemetry(sink) as telemetry:
         return _run_sweep(args, wl, cfg, cache, engine_opts, telemetry)
 
 
@@ -1142,6 +1245,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", default=None, metavar="FILE",
         help="harness telemetry JSON (from sweep --telemetry-out)",
     )
+    p_dash.add_argument(
+        "--coverage", action="append", default=None, metavar="FILE",
+        help="verification-coverage JSON (from crashcheck/litmus "
+        "--coverage-out; repeatable) rendered as a coverage panel",
+    )
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="tail a telemetry journal (crashcheck/litmus/sweep "
+        "--journal) and re-render the live dashboard HTML on change",
+    )
+    p_watch.add_argument(
+        "journal", metavar="JOURNAL.jsonl",
+        help="append-only journal file being written by a running "
+        "campaign (may not exist yet)",
+    )
+    p_watch.add_argument(
+        "-o", "--out", default="dashboard.html", metavar="FILE",
+        help="output HTML path, rewritten atomically on every change "
+        "(default: dashboard.html)",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval (default 0.5)",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit instead of tailing",
+    )
+    p_watch.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="stop tailing after S seconds (default: until ^C)",
+    )
 
     p_cmp = sub.add_parser("compare", help="compare variants (normalized)")
     common(p_cmp)
@@ -1220,6 +1356,23 @@ def build_parser() -> argparse.ArgumentParser:
         "missing); the nightly workflow uploads this as an artifact",
     )
     p_cc.add_argument("--cleaner-period", type=float, default=None)
+    p_cc.add_argument(
+        "--coverage-out", default=None, metavar="FILE",
+        help="write per-variant CoverageStats JSON (how much of the "
+        "crash-state space was checked) for `repro dashboard "
+        "--coverage`",
+    )
+    p_cc.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append per-point campaign events and job spans to this "
+        "JSONL telemetry journal while the campaign runs (tail it "
+        "with `repro watch`); does not affect results or cache keys",
+    )
+    p_cc.add_argument(
+        "--progress", action="store_true",
+        help="print per-crash-point coverage ticks to stderr as they "
+        "complete (off by default; independent of --journal)",
+    )
     engine_flags(p_cc)
 
     p_litmus = sub.add_parser(
@@ -1265,6 +1418,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay one divergence-report JSON and re-judge it "
         "(exit 0 if it still diverges)",
     )
+    p_litmus.add_argument(
+        "--coverage-out", default=None, metavar="FILE",
+        help="write per-model CoverageStats JSON (programs, images, "
+        "event-count epochs) for `repro dashboard --coverage`",
+    )
+    p_litmus.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append one litmus_program event per cross-checked "
+        "program to this JSONL telemetry journal (`repro watch`)",
+    )
 
     p_sweep = sub.add_parser("sweep", help="parameter sweeps")
     p_sweep.add_argument(
@@ -1277,6 +1440,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-out", default=None, metavar="FILE",
         help="write harness telemetry (per-job spans, cache stats, "
         "worker utilization) as JSON for `repro dashboard --telemetry`",
+    )
+    p_sweep.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="also stream job spans and batch summaries to this JSONL "
+        "telemetry journal while the sweep runs (`repro watch`)",
     )
 
     p_idem = sub.add_parser(
@@ -1309,6 +1477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "regress": _cmd_regress,
         "report": _cmd_report,
         "dashboard": _cmd_dashboard,
+        "watch": _cmd_watch,
         "compare": _cmd_compare,
         "crash": _cmd_crash,
         "crashcheck": _cmd_crashcheck,

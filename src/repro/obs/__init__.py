@@ -37,12 +37,19 @@ visibility without touching the simulator's hot path:
   ``derive_heatmap`` / ``derive_flame`` / ``derive_recorder``),
   bit-reconciled against a probed replay run — observability for the
   100x fast path without per-event callbacks.
-* :mod:`repro.obs.dashboard` — ``render_dashboard``: run reports plus
-  harness telemetry as one self-contained HTML page
-  (``repro dashboard``).
+* :mod:`repro.obs.dashboard` — ``render_dashboard``: run reports,
+  harness telemetry, and verification coverage as one self-contained
+  HTML page (``repro dashboard``).
+* :mod:`repro.obs.coverage` — :class:`CoverageStats`: how much of the
+  crash-state space a crashcheck/litmus campaign actually checked
+  (per-epoch exhaustive/sampled split, recovered vs diverged images,
+  shrink effort, images/sec), built from the verify layer's reports.
+* :mod:`repro.obs.journal` — :class:`TelemetryJournal`: an append-only
+  JSONL event stream ``run_jobs``, crashcheck, and litmus write
+  incrementally, with torn-line-tolerant tailing (``repro watch``).
 
-See ``docs/observability.md`` for the probe-bus contract and the trace
-schema.
+See ``docs/observability.md`` for the probe-bus contract, the trace
+schema, and the coverage/journal vocabularies.
 """
 
 from repro.obs.baseline import (
@@ -53,6 +60,14 @@ from repro.obs.baseline import (
     measure_case,
 )
 from repro.obs.bus import ProbeBus, ProbeObserver
+from repro.obs.coverage import (
+    CoverageStats,
+    EpochCoverage,
+    coverage_of_campaign,
+    coverage_of_crashcheck,
+    coverage_of_litmus,
+    load_coverage_docs,
+)
 from repro.obs.events import (
     CleanerPass,
     HazardHit,
@@ -65,6 +80,13 @@ from repro.obs.events import (
 )
 from repro.obs.dashboard import render_dashboard
 from repro.obs.intervals import IntervalSampler
+from repro.obs.journal import (
+    TelemetryJournal,
+    journal_summary,
+    read_journal,
+    tail_journal,
+    watch_once,
+)
 from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
 from repro.obs.profile import (
     StallFlame,
@@ -116,4 +138,15 @@ __all__ = [
     "derive_flame",
     "derive_recorder",
     "render_dashboard",
+    "CoverageStats",
+    "EpochCoverage",
+    "coverage_of_campaign",
+    "coverage_of_crashcheck",
+    "coverage_of_litmus",
+    "load_coverage_docs",
+    "TelemetryJournal",
+    "journal_summary",
+    "read_journal",
+    "tail_journal",
+    "watch_once",
 ]

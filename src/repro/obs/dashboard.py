@@ -5,12 +5,16 @@ RunReport` manifests — plus an optional :class:`~repro.analysis.runner.
 RunTelemetry` document — into one self-contained HTML page: headline
 tiles, a metric comparison table, per-run interval sparklines (SVG,
 from each report's ``intervals`` series), per-region write/store bars
-(from ``heatmap``), and a per-job timeline of the harness's spans
-(queue/run wall clock, cache hits vs full runs).  No external assets,
-no scripts — the page is a single file that renders anywhere,
-including as a CI artifact.
+(from ``heatmap``), a per-job timeline of the harness's spans
+(queue/run wall clock, cache hits vs full runs), and a verification-
+coverage panel (per-epoch bar strips + a scheme×workload grid over
+:class:`~repro.obs.coverage.CoverageStats` documents).  No external
+assets, no scripts, no wall-clock timestamps — the page is a single
+byte-deterministic file that renders anywhere, including as a CI
+artifact.
 
-``repro dashboard REPORT.json ... -o dash.html`` is the CLI face.
+``repro dashboard REPORT.json ... -o dash.html`` is the CLI face;
+``repro watch JOURNAL`` re-renders it live from a telemetry journal.
 """
 
 from __future__ import annotations
@@ -63,6 +67,11 @@ th:first-child, td:first-child { text-align: left; }
 .span-run { fill: #4c88c8; } .span-hit { fill: #74b06f; }
 .axis { font-size: 0.65rem; fill: #5b6b7a; }
 .muted { color: #5b6b7a; font-size: 0.8rem; }
+.epoch-ex { fill: #4c88c8; } .epoch-sm { fill: #d9923b; }
+.cov-bad { color: #b03030; font-weight: 600; }
+.legend { font-size: 0.75rem; color: #5b6b7a; }
+.legend .sw { display: inline-block; width: 0.7rem; height: 0.7rem;
+              border-radius: 2px; vertical-align: -0.05rem; }
 """
 
 
@@ -195,6 +204,128 @@ def _telemetry_tiles(telemetry: Dict[str, object]) -> List[Tuple[str, str]]:
     return tiles
 
 
+def _epoch_strip(doc: Dict[str, object]) -> str:
+    """Per-epoch bar strip: one bar per event-count bucket, height by
+    images checked, colored by the enumerator's frontier decision
+    (blue exhaustive, amber sampled), with the epoch's enumeration
+    bound as the right-hand figure."""
+    epochs = doc.get("epochs")
+    if not isinstance(epochs, list) or not epochs:
+        return '<p class="muted">no crashed points yet</p>'
+    peak = max(int(e.get("images_checked", 0)) for e in epochs) or 1
+    bar_w, gap, height = 26, 6, 64
+    width = len(epochs) * (bar_w + gap) + gap
+    parts = [f'<svg width="{width}" height="{height + 28}">']
+    for i, epoch in enumerate(epochs):
+        images = int(epoch.get("images_checked", 0))
+        x = gap + i * (bar_w + gap)
+        h = max(int(height * images / peak), 2)
+        cls = "epoch-ex" if epoch.get("exhaustive") else "epoch-sm"
+        parts.append(
+            f'<rect class="{cls}" x="{x}" y="{height - h + 2}" '
+            f'width="{bar_w}" height="{h}"/>'
+            f'<text class="axis" x="{x}" y="{height + 13}">'
+            f"{_esc(epoch.get('num_events', '?'))}ev</text>"
+            f'<text class="axis" x="{x}" y="{height + 24}">'
+            f"{images}</text>"
+        )
+    parts.append("</svg>")
+    parts.append(
+        '<p class="legend"><span class="sw epoch-ex"></span> exhaustive '
+        '&nbsp; <span class="sw epoch-sm"></span> sampled — bars are '
+        "images checked per event-count epoch</p>"
+    )
+    return "".join(parts)
+
+
+def _coverage_grid(docs: Sequence[Dict[str, object]]) -> str:
+    """Scheme×workload grid of images checked (✗ marks divergence).
+
+    Crashcheck labels are ``workload/variant``; labels without a slash
+    (single-image campaigns, litmus models) get a column named after
+    their kind.
+    """
+    cells: Dict[Tuple[str, str], Dict[str, object]] = {}
+    for doc in docs:
+        label = str(doc.get("label", "?"))
+        if "/" in label:
+            row, col = label.split("/", 1)
+        else:
+            row, col = label, str(doc.get("kind", "campaign"))
+        cells[(row, col)] = doc
+    rows = sorted({r for r, _ in cells})
+    cols = sorted({c for _, c in cells})
+    head = "".join(f"<th>{_esc(c)}</th>" for c in cols)
+    body = []
+    for row in rows:
+        tds = []
+        for col in cols:
+            doc = cells.get((row, col))
+            if doc is None:
+                tds.append("<td>-</td>")
+                continue
+            images = int(doc.get("images_checked", 0))
+            bad = int(doc.get("counterexamples", 0)) or int(
+                doc.get("images_diverged", 0)
+            )
+            mark = (
+                f' <span class="cov-bad">&#x2717;{bad}</span>' if bad else ""
+            )
+            tds.append(f"<td>{images:,}{mark}</td>")
+        body.append(f"<tr><td>{_esc(row)}</td>{''.join(tds)}</tr>")
+    return (
+        f"<table><tr><th>workload</th>{head}</tr>" + "".join(body) + "</table>"
+    )
+
+
+def _coverage_tiles(
+    docs: Sequence[Dict[str, object]]
+) -> List[Tuple[str, str]]:
+    checked = sum(int(d.get("images_checked", 0)) for d in docs)
+    recovered = sum(int(d.get("images_recovered", 0)) for d in docs)
+    diverged = sum(int(d.get("images_diverged", 0)) for d in docs)
+    cexs = sum(int(d.get("counterexamples", 0)) for d in docs)
+    exhaustive = sum(int(d.get("exhaustive_images", 0)) for d in docs)
+    wall = sum(float(d.get("wall_s", 0.0)) for d in docs)
+    tiles = [
+        ("campaigns", _esc(len(docs))),
+        ("images checked", f"{checked:,}"),
+        ("recovered", f"{recovered:,}"),
+        ("diverged", f"{diverged:,}"),
+        ("counterexamples", f"{cexs:,}"),
+        (
+            "exhaustive",
+            f"{100.0 * exhaustive / checked:.1f}%" if checked else "-",
+        ),
+    ]
+    if wall > 0:
+        tiles.append(("images/sec", f"{checked / wall:,.0f}"))
+    return tiles
+
+
+def _coverage_section(docs: Sequence[Dict[str, object]]) -> str:
+    parts = ["<h2>Verification coverage</h2>", '<div class="tiles">']
+    for label, value in _coverage_tiles(docs):
+        parts.append(
+            f'<div class="tile"><div class="v">{value}</div>'
+            f'<div class="k">{_esc(label)}</div></div>'
+        )
+    parts.append("</div>")
+    parts.append("<h3>scheme &times; workload grid</h3>")
+    parts.append(_coverage_grid(docs))
+    for doc in docs:
+        checked = int(doc.get("images_checked", 0))
+        bound = int(doc.get("enumeration_bound", 0))
+        parts.append(
+            f"<div class='card'><h3>{_esc(doc.get('label', '?'))} "
+            f"<span class='muted'>({_esc(doc.get('kind', '?'))}, "
+            f"{checked:,} images / bound {bound:,})</span></h3>"
+        )
+        parts.append(_epoch_strip(doc))
+        parts.append("</div>")
+    return "".join(parts)
+
+
 def _report_card(report: RunReport) -> str:
     parts = [f"<div class='card'><h3>{_esc(report.label())}</h3>"]
     parts.append('<div class="tiles">')
@@ -231,15 +362,26 @@ def _report_card(report: RunReport) -> str:
 def render_dashboard(
     reports: Sequence[RunReport],
     telemetry: Optional[Dict[str, object]] = None,
+    coverage: Optional[Sequence[Dict[str, object]]] = None,
 ) -> str:
     """The dashboard page (a complete HTML document) as a string.
 
     ``telemetry`` is a :meth:`~repro.analysis.runner.RunTelemetry.
     to_dict` document; when omitted, the first report carrying an
-    embedded ``telemetry`` snapshot supplies it.
+    embedded ``telemetry`` snapshot supplies it.  ``coverage`` is a
+    sequence of :meth:`~repro.obs.coverage.CoverageStats.to_dict`
+    documents, rendered as a verification-coverage panel (per-epoch
+    bar strips plus a scheme×workload grid).
+
+    The output is byte-deterministic for identical inputs: the page
+    embeds no wall-clock timestamps or environment state of its own,
+    so re-rendering the same documents yields the same bytes (CI
+    artifacts diff cleanly; pinned by a golden test).
     """
-    if not reports and telemetry is None:
-        raise ConfigError("nothing to render: no reports, no telemetry")
+    if not reports and telemetry is None and not coverage:
+        raise ConfigError(
+            "nothing to render: no reports, no telemetry, no coverage"
+        )
     if telemetry is None:
         for report in reports:
             if report.telemetry is not None:
@@ -266,6 +408,9 @@ def render_dashboard(
             body.append("</div>")
         body.append("<h3>job timeline</h3>")
         body.append(_timeline(telemetry))
+
+    if coverage:
+        body.append(_coverage_section(coverage))
 
     if reports:
         body.append("<h2>Runs</h2>")

@@ -33,6 +33,7 @@ from repro.verify.enumerate import (
     EnumeratedImage,
     EnumerationPlan,
     enumerate_images,
+    enumeration_bound,
 )
 from repro.verify.graph import (
     count_ideals,
@@ -69,6 +70,7 @@ __all__ = [
     "EnumeratedImage",
     "EnumerationPlan",
     "enumerate_images",
+    "enumeration_bound",
     "count_ideals",
     "is_ideal",
     "iter_ideals",

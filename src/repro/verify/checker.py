@@ -21,6 +21,7 @@ acceptance otherwise hides.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 
@@ -29,7 +30,11 @@ from repro.sim.config import MachineConfig
 from repro.sim.crash import CrashPlan, run_to_crash_space
 from repro.sim.machine import Machine
 from repro.sim.persist import CrashStateSpace
-from repro.verify.enumerate import EnumerationPlan, enumerate_images
+from repro.verify.enumerate import (
+    EnumerationPlan,
+    enumerate_images,
+    enumeration_bound,
+)
 from repro.verify.graph import is_ideal
 from repro.workloads.base import Workload
 
@@ -127,10 +132,25 @@ class CrashPointReport:
     images_checked: int = 0
     exhaustive: bool = True
     counterexamples: List[Counterexample] = field(default_factory=list)
+    #: Candidate ideals the enumeration plan generated (before image
+    #: dedup); ``images_checked <= bound``.
+    bound: int = 0
+    #: Images on which recovery produced wrong output (every failing
+    #: image counts, including ones containing an already-shrunk
+    #: failure that is not reported again).
+    images_diverged: int = 0
+    #: Events dropped by counterexample shrinking at this point, summed.
+    shrink_steps: int = 0
+    #: Wall clock of the whole point check (run + enumerate + recover).
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.counterexamples
+
+    @property
+    def images_recovered(self) -> int:
+        return self.images_checked - self.images_diverged
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -141,10 +161,17 @@ class CrashPointReport:
             "images_checked": self.images_checked,
             "exhaustive": self.exhaustive,
             "counterexamples": [c.to_dict() for c in self.counterexamples],
+            "bound": self.bound,
+            "images_diverged": self.images_diverged,
+            "shrink_steps": self.shrink_steps,
+            "wall_s": round(self.wall_s, 6),
         }
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "CrashPointReport":
+        # Coverage fields default for records written before they
+        # existed (pre-coverage cache entries are invalidated by
+        # code_version anyway; saved counterexample files are not).
         return cls(
             crash=dict(d["crash"]),
             crashed=bool(d["crashed"]),
@@ -155,6 +182,10 @@ class CrashPointReport:
             counterexamples=[
                 Counterexample.from_dict(c) for c in d["counterexamples"]
             ],
+            bound=int(d.get("bound", 0)),
+            images_diverged=int(d.get("images_diverged", 0)),
+            shrink_steps=int(d.get("shrink_steps", 0)),
+            wall_s=float(d.get("wall_s", 0.0)),
         )
 
 
@@ -179,8 +210,26 @@ class CrashCheckReport:
         return max((p.num_events for p in self.points), default=0)
 
     @property
+    def images_diverged(self) -> int:
+        return sum(p.images_diverged for p in self.points)
+
+    @property
+    def wall_s(self) -> float:
+        return sum(p.wall_s for p in self.points)
+
+    @property
     def counterexamples(self) -> List[Counterexample]:
         return [c for p in self.points for c in p.counterexamples]
+
+    def coverage(self) -> Any:
+        """This campaign's :class:`~repro.obs.coverage.CoverageStats`.
+
+        Imported lazily: the verification layer stays importable (and
+        cache-key stable) without the observability package loaded.
+        """
+        from repro.obs.coverage import coverage_of_crashcheck
+
+        return coverage_of_crashcheck(self)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -280,6 +329,7 @@ def check_crash_point(
     selects the fast cache-free machine for per-image recovery runs
     (see :func:`_recovery_fails`).
     """
+    started = time.perf_counter()
     if timing is not None:
         config = config.with_timing(timing)
     crash_key = plan_to_dict(crash)
@@ -303,6 +353,7 @@ def check_crash_point(
                     image={},
                 )
             )
+        report.wall_s = time.perf_counter() - started
         return report
 
     report = CrashPointReport(
@@ -311,6 +362,7 @@ def check_crash_point(
         num_events=space.num_events,
         num_edges=len(space.edges),
         exhaustive=plan.is_exhaustive_for(space),
+        bound=enumeration_bound(space, plan),
     )
 
     def fails(eids: FrozenSet[int]) -> bool:
@@ -329,12 +381,14 @@ def check_crash_point(
         report.images_checked += 1
         if not fails(candidate.eids):
             continue
+        report.images_diverged += 1
         if any(k <= candidate.eids for k in known):
             # An already-reported minimal failure is contained in this
             # image: same root cause, don't shrink or report it again.
             continue
         minimized = minimize_failure(space, candidate.eids, fails)
         known.append(frozenset(minimized))
+        report.shrink_steps += len(candidate.eids) - len(minimized)
         report.counterexamples.append(
             Counterexample(
                 workload=workload.name,
@@ -346,6 +400,7 @@ def check_crash_point(
                 image=space.image_for(minimized),
             )
         )
+    report.wall_s = time.perf_counter() - started
     return report
 
 
@@ -361,10 +416,19 @@ def check_variant(
     stop_on_failure: bool = False,
     timing: Optional[str] = None,
     replay: bool = True,
+    journal: Optional[Any] = None,
 ) -> CrashCheckReport:
     """Check one variant at each crash point; see
-    :func:`check_crash_point`."""
+    :func:`check_crash_point`.
+
+    ``journal`` is any sink with ``emit(kind, **fields)`` (a
+    :class:`repro.obs.journal.TelemetryJournal`); when given, the
+    checker emits one ``campaign_point`` event per finished crash point
+    and one ``counterexample`` event per shrunk failure — the streaming
+    feed behind ``repro crashcheck --progress`` and ``repro watch``.
+    """
     report = CrashCheckReport(workload=workload.name, variant=variant)
+    label = f"{workload.name}/{variant}"
     for crash in crash_plans:
         point = check_crash_point(
             workload,
@@ -379,6 +443,28 @@ def check_variant(
             replay=replay,
         )
         report.points.append(point)
+        if journal is not None:
+            journal.emit(
+                "campaign_point",
+                label=label,
+                crash=describe_plan(plan_from_dict(point.crash)),
+                crashed=point.crashed,
+                num_events=point.num_events,
+                images_checked=point.images_checked,
+                images_diverged=point.images_diverged,
+                bound=point.bound,
+                exhaustive=point.exhaustive,
+                counterexamples=len(point.counterexamples),
+                shrink_steps=point.shrink_steps,
+                wall_s=round(point.wall_s, 6),
+            )
+            for cex in point.counterexamples:
+                journal.emit(
+                    "counterexample",
+                    label=label,
+                    description=cex.describe(),
+                    crash=dict(cex.crash),
+                )
         if stop_on_failure and not point.ok:
             break
     return report

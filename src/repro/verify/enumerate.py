@@ -24,7 +24,7 @@ from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
 from repro.errors import ConfigError
 from repro.sim.persist import CrashStateSpace
-from repro.verify.graph import iter_ideals, sample_ideals
+from repro.verify.graph import count_ideals, iter_ideals, sample_ideals
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,21 @@ def _ideal_stream(
     yield frozenset(space.schedule_eids())
     for ideal in sample_ideals(nodes, space.edges, plan.seed, plan.samples):
         yield ideal
+
+
+def enumeration_bound(space: CrashStateSpace, plan: EnumerationPlan) -> int:
+    """How many candidate ideals :func:`enumerate_images` will consider.
+
+    Exhaustive mode: the exact order-ideal count of the constraint
+    graph, capped by ``max_images`` — the space's true reachable-image
+    bound (before content dedup).  Sampled mode: the sample budget plus
+    the three distinguished ideals.  Coverage accounting compares
+    ``images_checked`` (deduplicated) against this bound.
+    """
+    if plan.is_exhaustive_for(space):
+        nodes = [ev.eid for ev in space.events]
+        return min(count_ideals(nodes, space.edges), plan.max_images)
+    return plan.samples + 3
 
 
 def enumerate_images(

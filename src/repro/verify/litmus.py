@@ -39,6 +39,7 @@ as the ``ep_nofence`` broken workload variant.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -709,34 +710,73 @@ class ModelVerdict:
     programs_checked: int
     divergent: int
     reports: List[DivergenceReport] = field(default_factory=list)
+    #: Reachable images enumerated across the corpus (deduplicated per
+    #: program by the enumerator).
+    images_checked: int = 0
+    #: Per-program coverage points: (num_events, images, divergent).
+    program_points: List[Tuple[int, int, bool]] = field(default_factory=list)
+    #: Corpus wall clock (run + enumerate + spec + shrink).
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
         """Sound models must never diverge; broken ones must."""
         return self.divergent > 0 if self.broken else self.divergent == 0
 
+    def coverage(self) -> Any:
+        """This corpus's :class:`~repro.obs.coverage.CoverageStats`.
+
+        Imported lazily so the verification layer never hard-depends
+        on the observability package.
+        """
+        from repro.obs.coverage import coverage_of_litmus
+
+        return coverage_of_litmus(self)
+
 
 def check_model(
     model: str,
     programs: Sequence[LitmusProgram],
     max_reports: int = 8,
+    journal: Optional[Any] = None,
 ) -> ModelVerdict:
     """Cross-check every program under ``model``; shrink and collect up
-    to ``max_reports`` divergences."""
+    to ``max_reports`` divergences.
+
+    ``journal`` is any sink with ``emit(kind, **fields)`` (a
+    :class:`repro.obs.journal.TelemetryJournal`); when given, one
+    ``litmus_program`` event streams out per cross-checked program.
+    """
     m = get_model(model)
     if not m.enumerable:
         raise ConfigError(
             f"model {m.name!r} does not support crash-state "
             f"enumeration; litmus cannot cross-check it"
         )
+    started = time.perf_counter()
     verdict = ModelVerdict(
         model=m.name, broken=m.broken, programs_checked=0, divergent=0
     )
     for program in programs:
         result = check_program(program, m.name)
         verdict.programs_checked += 1
+        images = len(result.run.sim_images)
+        verdict.images_checked += images
+        verdict.program_points.append(
+            (result.run.num_events, images, not result.ok)
+        )
+        if journal is not None:
+            journal.emit(
+                "litmus_program",
+                model=m.name,
+                program=program.name,
+                num_events=result.run.num_events,
+                images=images,
+                divergent=not result.ok,
+            )
         if not result.ok:
             verdict.divergent += 1
             if len(verdict.reports) < max_reports:
                 verdict.reports.append(divergence_report(result))
+    verdict.wall_s = time.perf_counter() - started
     return verdict

@@ -566,3 +566,155 @@ class TestDashboardCLI:
         out = capsys.readouterr().out
         assert "[harness:" in out
         assert "worker(s)" in out
+
+
+class TestCoverageAndWatchCLI:
+    CC = ["crashcheck", "--workload", "tmm", "--variants", "ep",
+          "--points", "2", "--max-flush-points", "4", "--max-events", "8",
+          "--samples", "4", "--no-cache"]
+
+    def test_parser_defaults(self):
+        cc = build_parser().parse_args(["crashcheck"])
+        assert cc.coverage_out is None
+        assert cc.journal is None
+        assert cc.progress is False
+        lit = build_parser().parse_args(["litmus"])
+        assert lit.coverage_out is None
+        assert lit.journal is None
+        sweep = build_parser().parse_args(["sweep", "checksum", "tmm"])
+        assert sweep.journal is None
+        watch = build_parser().parse_args(["watch", "j.jsonl"])
+        assert watch.journal == "j.jsonl"
+        assert watch.out == "dashboard.html"
+        assert watch.once is False
+        assert watch.interval == 0.5
+
+    def test_crashcheck_coverage_out_and_summary(self, capsys, tmp_path):
+        import json
+
+        cov_path = tmp_path / "cov.json"
+        assert main([*self.CC, "--coverage-out", str(cov_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[coverage]" in out
+        assert "images over" in out
+        docs = json.loads(cov_path.read_text())
+        assert "tmm/ep" in docs
+        doc = docs["tmm/ep"]
+        assert doc["images_checked"] > 0
+        assert doc["epochs"]
+        # The printed summary and the saved doc agree.
+        assert f"{doc['images_checked']} images" in out
+
+    def test_progress_ticks_go_to_stderr(self, capsys):
+        assert main([*self.CC, "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[coverage]" in captured.err
+        assert "images (events=" in captured.err
+
+    def test_journal_reconciles_with_coverage_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import journal_summary, read_journal
+
+        cov_path = tmp_path / "cov.json"
+        journal_path = tmp_path / "cc.jsonl"
+        assert main([*self.CC, "--coverage-out", str(cov_path),
+                     "--journal", str(journal_path)]) == 0
+        folded = journal_summary(read_journal(str(journal_path)))
+        (from_journal,) = [
+            d for d in folded["coverage"] if d["label"] == "tmm/ep"
+        ]
+        saved = json.loads(cov_path.read_text())["tmm/ep"]
+        for doc in (from_journal, saved):
+            doc.pop("wall_s")
+            doc.pop("images_per_sec")
+        assert from_journal == saved
+
+    def test_journal_does_not_change_results(self, capsys, tmp_path):
+        assert main(list(self.CC)) == 0
+        plain = capsys.readouterr().out
+        assert main([*self.CC, "--journal",
+                     str(tmp_path / "j.jsonl")]) == 0
+        journaled = capsys.readouterr().out
+        # Identical verdict table; only wall-clock-derived rate lines
+        # below it may differ between runs.
+        assert plain.split("[coverage]")[0] == (
+            journaled.split("[coverage]")[0]
+        )
+
+    def test_litmus_coverage_out(self, capsys, tmp_path):
+        import json
+
+        cov_path = tmp_path / "lit.json"
+        assert main(["litmus", "--models", "adr", "--limit", "8",
+                     "--max-ops", "2", "--threads", "1",
+                     "--coverage-out", str(cov_path)]) == 0
+        docs = json.loads(cov_path.read_text())
+        assert docs["adr"]["kind"] == "litmus"
+        assert docs["adr"]["images_checked"] > 0
+
+    def test_dashboard_renders_coverage_files(self, capsys, tmp_path):
+        cov_path = tmp_path / "cov.json"
+        assert main([*self.CC, "--coverage-out", str(cov_path)]) == 0
+        out = tmp_path / "dash.html"
+        capsys.readouterr()
+        assert main(["dashboard", "--coverage", str(cov_path),
+                     "-o", str(out)]) == 0
+        page = out.read_text()
+        assert "Verification coverage" in page
+        assert "tmm" in page
+
+    def test_watch_once_renders_journal(self, capsys, tmp_path):
+        journal_path = tmp_path / "cc.jsonl"
+        assert main([*self.CC, "--journal", str(journal_path)]) == 0
+        out = tmp_path / "dash.html"
+        capsys.readouterr()
+        assert main(["watch", str(journal_path), "--once",
+                     "-o", str(out)]) == 0
+        assert "[watch:" in capsys.readouterr().out
+        page = out.read_text()
+        assert "Verification coverage" in page
+
+    def test_watch_polls_and_rerenders_on_growth(self, capsys, tmp_path):
+        import threading
+        import time as _time
+
+        from repro.obs import TelemetryJournal
+
+        journal_path = tmp_path / "live.jsonl"
+        out = tmp_path / "dash.html"
+        journal = TelemetryJournal(path=str(journal_path))
+        journal.emit("campaign_point", label="tmm/lp", num_events=2,
+                     images_checked=4, bound=4, exhaustive=True,
+                     crashed=True)
+
+        def append_later():
+            _time.sleep(0.15)
+            journal.emit("campaign_point", label="tmm/lp", num_events=2,
+                         images_checked=6, bound=8, exhaustive=True,
+                         crashed=True)
+
+        writer = threading.Thread(target=append_later)
+        writer.start()
+        try:
+            assert main(["watch", str(journal_path), "-o", str(out),
+                         "--interval", "0.05", "--max-seconds", "0.6"]) == 0
+        finally:
+            writer.join()
+        outputs = capsys.readouterr().out
+        assert "[watch: 1 event(s)" in outputs  # initial snapshot
+        assert "[watch: 2 event(s)" in outputs  # re-render on growth
+        assert "10 images" in out.read_text()
+
+    def test_watch_empty_journal_renders_placeholder(self, capsys, tmp_path):
+        out = tmp_path / "dash.html"
+        assert main(["watch", str(tmp_path / "none.jsonl"), "--once",
+                     "-o", str(out)]) == 0
+        assert "waiting for journal events" in out.read_text()
+
+    def test_malformed_coverage_file_fails(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('"just a string"')
+        with pytest.raises(SystemExit):
+            main(["dashboard", "--coverage", str(bad),
+                  "-o", str(tmp_path / "d.html")])
